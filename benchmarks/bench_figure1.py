@@ -1,0 +1,29 @@
+"""FIG1: regenerate Figure 1 -- the taxonomy of dimensions.
+
+Paper artifact: "Fig. 1. A taxonomy presenting the dimensions for
+organizing RDF query processing methods."  The reproduction renders the
+same tree from ``repro.core.taxonomy`` and asserts its exact structure.
+"""
+
+from repro.core import TAXONOMY, render_taxonomy
+
+from conftest import report
+
+
+def test_figure1_taxonomy(benchmark):
+    text = benchmark(render_taxonomy)
+    report("FIGURE 1 (reproduced): taxonomy of dimensions", text)
+    # Two axes with the paper's exact leaf options.
+    assert [c.label for c in TAXONOMY.children] == [
+        "Data Model",
+        "Apache Spark Abstraction",
+    ]
+    assert TAXONOMY.leaves() == [
+        "The Triple Model",
+        "The Graph Model",
+        "RDD",
+        "DataFrames",
+        "Spark SQL",
+        "GraphX",
+        "GraphFrames",
+    ]

@@ -1,0 +1,75 @@
+"""RTR: the shape-aware router -- the survey's conclusions, operationalized.
+
+The survey's "System Contribution" dimension notes some systems target one
+query type and others all types; the cross-system matrix (CMP-SHAPE)
+measures who wins per shape.  The router dispatches each query to the
+per-shape winner.  Measured here: the router answers every shape
+correctly, loads only the engines it needs, and each routed engine's
+remote traffic is at or below the median of all ten engines for that
+query -- i.e. routing by shape systematically lands in the cheap half of
+the matrix.
+"""
+
+import statistics
+
+from repro.bench import BenchRun, format_table
+from repro.core.assessment import ClaimResult
+from repro.data.lubm import LubmGenerator
+from repro.spark.context import SparkContext
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine, ShapeAwareRouter
+
+from conftest import report
+
+QUERIES = {
+    "star": LubmGenerator.query_star(),
+    "linear": LubmGenerator.query_linear(),
+    "snowflake": LubmGenerator.query_snowflake(),
+    "complex": LubmGenerator.query_complex(),
+}
+
+
+def test_router_lands_in_the_cheap_half(benchmark, lubm_small):
+    def run():
+        matrix = BenchRun(lubm_small)
+        matrix.run((NaiveEngine,) + ALL_ENGINE_CLASSES, QUERIES)
+        remote_by_query = {}
+        for result in matrix.results:
+            remote_by_query.setdefault(result.query, {})[
+                result.engine
+            ] = result.cost_summary()["shuffle_remote"]
+
+        router = ShapeAwareRouter(parallelism=4).load(lubm_small)
+        rows = []
+        verdicts = []
+        for name, text in QUERIES.items():
+            query = parse_sparql(text)
+            answer = router.execute(query)
+            correct = answer.same_as(evaluate(query, lubm_small))
+            routed = router.last_engine.profile.name
+            routed_remote = remote_by_query[name][routed]
+            median_remote = statistics.median(
+                remote_by_query[name].values()
+            )
+            verdicts.append(correct and routed_remote <= median_remote)
+            rows.append(
+                [name, routed, routed_remote, round(median_remote, 1)]
+            )
+        return rows, verdicts, router.loaded_engines()
+
+    rows, verdicts, loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = ClaimResult(
+        "RTR",
+        holds=all(verdicts) and len(loaded) == 4,
+        evidence={"engines_loaded": loaded},
+    )
+    report(
+        "RTR: shape-aware routing lands in the cheap half of the matrix",
+        format_table(
+            ["query", "routed engine", "routed remote", "median remote"],
+            rows,
+        )
+        + "\n" + result.summary(),
+    )
+    assert result.holds

@@ -1,0 +1,127 @@
+"""CMP-SHAPE: the survey's summative cross-system assessment.
+
+The paper's overall judgement (Sections IV-V): every surveyed system
+improves on naive full scans by exploiting its storage/partitioning
+scheme; systems that neglect partitioning pay for it in network traffic;
+query shape (Section II-B) determines who wins where.
+
+Measured: the full engine x query-shape matrix on the LUBM-like workload
+-- answers cross-checked against the reference evaluator, and cost metrics
+(scans, shuffles, remote traffic, comparisons) reported per cell.  This
+regenerates, in spirit, the comparison a reader would assemble from the
+survey's per-system sections.
+"""
+
+from repro.bench import BenchRun, format_table
+from repro.core.assessment import ClaimResult
+from repro.data.lubm import LubmGenerator
+from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
+
+from conftest import report
+
+QUERIES = {
+    "star": LubmGenerator.query_star(),
+    "linear": LubmGenerator.query_linear(),
+    "snowflake": LubmGenerator.query_snowflake(),
+    "complex": LubmGenerator.query_complex(),
+}
+
+
+def test_cross_system_matrix(benchmark, lubm_small):
+    bench = BenchRun(lubm_small)
+
+    def run_matrix():
+        bench.results.clear()
+        return bench.run(
+            (NaiveEngine,) + ALL_ENGINE_CLASSES, QUERIES
+        )
+
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    rows = []
+    for result in results:
+        summary = result.cost_summary()
+        rows.append(
+            [
+                result.engine,
+                result.query,
+                result.rows,
+                "yes" if result.correct else "NO",
+                summary["records_scanned"],
+                summary["shuffle_records"],
+                summary["shuffle_remote"],
+                summary["join_comparisons"],
+            ]
+        )
+
+    all_correct = not bench.incorrect()
+    by_engine = bench.by_engine()
+
+    def total_scans(engine_name):
+        return sum(
+            r.cost_summary()["records_scanned"] for r in by_engine[engine_name]
+        )
+
+    # Storage-aware engines read less than the naive full scanner.
+    naive_scans = total_scans("Naive")
+    sparqlgx_scans = total_scans("SPARQLGX")
+    sparkrdf_scans = total_scans("SparkRDF")
+
+    claim = ClaimResult(
+        "CMP-SHAPE",
+        holds=all_correct
+        and sparqlgx_scans < naive_scans
+        and sparkrdf_scans < naive_scans,
+        evidence={
+            "all_correct": all_correct,
+            "naive_scans": naive_scans,
+            "sparqlgx_scans": sparqlgx_scans,
+            "sparkrdf_scans": sparkrdf_scans,
+        },
+    )
+    report(
+        "CMP-SHAPE: engine x query-shape assessment matrix",
+        format_table(
+            [
+                "engine",
+                "query",
+                "rows",
+                "correct",
+                "scanned",
+                "shuffle",
+                "remote",
+                "comparisons",
+            ],
+            rows,
+        )
+        + "\n" + claim.summary(),
+    )
+    assert claim.holds
+
+
+def test_star_queries_cheapest_on_subject_partitioners(benchmark, lubm_small):
+    """Subject-partitioned engines answer stars with zero remote traffic."""
+    bench = BenchRun(lubm_small)
+
+    def run():
+        bench.results.clear()
+        from repro.systems import HaqwaEngine, HybridEngine
+
+        return bench.run(
+            [HaqwaEngine, HybridEngine], {"star": QUERIES["star"]}
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    remote = {
+        r.engine: r.cost_summary()["shuffle_remote"] for r in results
+    }
+    claim = ClaimResult(
+        "CMP-SHAPE-star-local",
+        holds=all(value == 0 for value in remote.values()),
+        evidence=remote,
+    )
+    report(
+        "CMP-SHAPE: star queries are local under subject partitioning",
+        claim.summary(),
+    )
+    assert claim.holds

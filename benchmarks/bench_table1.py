@@ -1,0 +1,21 @@
+"""TAB1: regenerate Table I -- systems by data model x Spark abstraction.
+
+Paper artifact: "TABLE I. A taxonomy of the RDF query processing
+approaches with respect to data model and Apache Spark abstraction."
+The reproduction derives the same grid from the engines' machine-readable
+profiles and asserts cell-exact agreement with the published table.
+"""
+
+from repro.core import default_registry, render_table_i
+from repro.core.reports import PAPER_TABLE_I, table_i_cells
+
+from conftest import report
+
+
+def test_table1_classification(benchmark):
+    registry = default_registry()
+    cells = benchmark(table_i_cells, registry)
+    report("TABLE I (reproduced)", render_table_i(registry))
+    assert set(cells) == set(PAPER_TABLE_I)
+    for key, expected in PAPER_TABLE_I.items():
+        assert tuple(sorted(cells[key])) == tuple(sorted(expected)), key

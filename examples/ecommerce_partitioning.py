@@ -1,0 +1,88 @@
+"""Workload-aware partitioning on an e-commerce graph (HAQWA's idea).
+
+The paper's future-work section argues that "exploiting knowledge about
+the queries previously submitted in a system, we can end up in a more
+efficient partitioning scheme".  This example builds a WatDiv-like shop
+graph, declares a skewed query workload (the friend-purchase query is
+hot), and shows how HAQWA's two-step fragmentation turns the hot query's
+shuffle traffic into zero by replicating exactly the triples it needs.
+
+Run with:  python examples/ecommerce_partitioning.py
+"""
+
+from repro.bench import format_table
+from repro.data.watdiv import WatdivGenerator
+from repro.data.workload import QueryWorkload
+from repro.spark import SparkContext
+from repro.sparql.parser import parse_sparql
+from repro.systems import HaqwaEngine
+
+HOT_QUERY = """
+PREFIX wd: <http://repro.example.org/watdiv#>
+SELECT ?u ?prod WHERE {
+  ?u wd:friendOf ?f .
+  ?f wd:purchased ?prod .
+}
+"""
+
+COLD_QUERY = """
+PREFIX wd: <http://repro.example.org/watdiv#>
+SELECT ?u ?ret WHERE {
+  ?u wd:purchased ?prod .
+  ?ret wd:offers ?prod .
+}
+"""
+
+
+def run(engine, query_text):
+    before = engine.ctx.metrics.snapshot()
+    result = engine.execute(query_text)
+    cost = engine.ctx.metrics.snapshot() - before
+    return len(result), cost
+
+
+def main() -> None:
+    graph = WatdivGenerator(num_users=60, num_products=30, seed=7).generate()
+    print("Shop graph: %d triples" % len(graph))
+
+    workload = QueryWorkload()
+    workload.add("friend-purchases", parse_sparql(HOT_QUERY), frequency=50.0)
+    workload.add("retailer-overlap", parse_sparql(COLD_QUERY), frequency=1.0)
+
+    plain = HaqwaEngine(SparkContext(4))
+    plain.load(graph)
+    aware = HaqwaEngine(SparkContext(4), workload=workload)
+    aware.load(graph)
+    print(
+        "Workload-aware allocation replicated %d triples "
+        "(%.1f%% of the dataset).\n"
+        % (aware.replicated_triples, 100.0 * aware.replicated_triples / len(graph))
+    )
+
+    rows = []
+    for name, query in (("hot", HOT_QUERY), ("cold", COLD_QUERY)):
+        for label, engine in (("hash only", plain), ("hash+workload", aware)):
+            answers, cost = run(engine, query)
+            rows.append(
+                [
+                    name,
+                    label,
+                    answers,
+                    cost.shuffle_records,
+                    cost.shuffle_remote_records,
+                ]
+            )
+    print(
+        format_table(
+            ["query", "allocation", "rows", "shuffled", "remote"], rows
+        )
+    )
+    print(
+        "\nThe hot query runs entirely partition-locally under the "
+        "workload-aware scheme;\nthe cold query is unaffected (object-"
+        "object joins are outside the replication rule)."
+    )
+
+
+if __name__ == "__main__":
+    main()

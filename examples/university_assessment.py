@@ -1,0 +1,85 @@
+"""The survey's assessment, end to end: all nine systems on one workload.
+
+Generates a LUBM-like university graph, runs the four query shapes of
+Section II-B on every surveyed engine (plus the naive baseline), verifies
+every answer against the reference evaluator, and prints the cost matrix
+the paper's Section IV discusses system by system.
+
+Run with:  python examples/university_assessment.py
+"""
+
+from repro.bench import BenchRun, format_table
+from repro.data.lubm import LubmGenerator
+from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
+
+
+def main() -> None:
+    graph = LubmGenerator(num_universities=1, seed=42).generate()
+    print("University graph: %d triples" % len(graph))
+
+    queries = {
+        "star": LubmGenerator.query_star(),
+        "linear": LubmGenerator.query_linear(),
+        "snowflake": LubmGenerator.query_snowflake(),
+        "complex": LubmGenerator.query_complex(),
+    }
+
+    bench = BenchRun(graph)
+    results = bench.run((NaiveEngine,) + ALL_ENGINE_CLASSES, queries)
+
+    rows = []
+    for result in results:
+        summary = result.cost_summary()
+        rows.append(
+            [
+                result.engine,
+                result.query,
+                result.rows,
+                "ok" if result.correct else "WRONG",
+                summary["records_scanned"],
+                summary["shuffle_records"],
+                summary["shuffle_remote"],
+                summary["broadcast_bytes"],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "engine",
+                "query",
+                "rows",
+                "answers",
+                "scanned",
+                "shuffled",
+                "remote",
+                "broadcast B",
+            ],
+            rows,
+        )
+    )
+
+    wrong = bench.incorrect()
+    if wrong:
+        raise SystemExit(
+            "engines disagreed with the reference: %r"
+            % [(r.engine, r.query) for r in wrong]
+        )
+    print("\nAll engines agree with the reference evaluator.")
+
+    print("\nReading the matrix against the survey's observations:")
+    print(
+        " * subject-hash systems (HAQWA, [21], SparkRDF) answer the star\n"
+        "   query with zero remote shuffle records;"
+    )
+    print(
+        " * vertically partitioned systems (SPARQLGX, S2RDF) scan far\n"
+        "   fewer records than the naive full scanner;"
+    )
+    print(
+        " * graph-model systems pay iteration overhead but stay correct\n"
+        "   across all shapes."
+    )
+
+
+if __name__ == "__main__":
+    main()

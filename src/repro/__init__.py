@@ -1,0 +1,12 @@
+"""repro: RDF query answering over a Spark-like substrate.
+
+A full reproduction of "RDF Query Answering Using Apache Spark: Review and
+Assessment" (Agathangelos et al., ICDE Workshops 2018): the Spark data
+abstractions the paper surveys (``repro.spark``), an RDF + SPARQL stack
+(``repro.rdf``, ``repro.sparql``), the nine surveyed systems
+(``repro.systems``), synthetic data and workload generators (``repro.data``),
+and the survey's own taxonomy, tables and assessment experiments
+(``repro.core``, ``repro.bench``).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Benchmark harness: run engines over workloads, collect cost metrics,
+verify correctness against the reference evaluator, and print result
+tables.
+"""
+
+from repro.bench.harness import BenchRun, RunResult, run_engine_on_query
+from repro.bench.reporting import format_table, format_series
+
+__all__ = [
+    "BenchRun",
+    "RunResult",
+    "format_series",
+    "format_table",
+    "run_engine_on_query",
+]

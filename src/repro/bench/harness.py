@@ -1,0 +1,129 @@
+"""Run matrices of (engine x query) with correctness checks and metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.spark.context import SparkContext
+from repro.spark.metrics import MetricsSnapshot
+from repro.sparql.algebra import evaluate
+from repro.sparql.ast import Query, SelectQuery
+from repro.sparql.parser import parse_sparql
+from repro.sparql.results import SolutionSet
+from repro.systems.base import SparkRdfEngine, UnsupportedQueryError
+
+
+@dataclass
+class RunResult:
+    """One (engine, query) execution with its measured cost."""
+
+    engine: str
+    query: str
+    rows: int
+    correct: Optional[bool]
+    supported: bool
+    seconds: float
+    metrics: MetricsSnapshot
+
+    def cost_summary(self) -> Dict[str, int]:
+        return {
+            "shuffle_records": self.metrics.shuffle_records,
+            "shuffle_remote": self.metrics.shuffle_remote_records,
+            "join_comparisons": self.metrics.join_comparisons,
+            "records_scanned": self.metrics.records_scanned,
+            "broadcast_bytes": self.metrics.broadcast_bytes,
+        }
+
+
+def run_engine_on_query(
+    engine: SparkRdfEngine,
+    query: Union[str, Query],
+    name: str = "query",
+    reference: Optional[SolutionSet] = None,
+) -> RunResult:
+    """Execute one query on a loaded engine, measuring its marginal cost."""
+    if isinstance(query, str):
+        query = parse_sparql(query)
+    ctx = engine.ctx
+    before = ctx.metrics.snapshot()
+    start = time.perf_counter()
+    try:
+        result = engine.execute(query)
+    except UnsupportedQueryError:
+        return RunResult(
+            engine=engine.profile.name,
+            query=name,
+            rows=0,
+            correct=None,
+            supported=False,
+            seconds=0.0,
+            metrics=MetricsSnapshot({}),
+        )
+    elapsed = time.perf_counter() - start
+    cost = ctx.metrics.snapshot() - before
+    correct = None
+    if reference is not None and isinstance(result, SolutionSet):
+        correct = result.same_as(reference)
+    rows = len(result) if isinstance(result, SolutionSet) else int(result)
+    return RunResult(
+        engine=engine.profile.name,
+        query=name,
+        rows=rows,
+        correct=correct,
+        supported=True,
+        seconds=elapsed,
+        metrics=cost,
+    )
+
+
+@dataclass
+class BenchRun:
+    """A matrix run: engines x named queries over one dataset."""
+
+    graph: RDFGraph
+    parallelism: int = 4
+    results: List[RunResult] = field(default_factory=list)
+
+    def run(
+        self,
+        engine_classes: Sequence[Type[SparkRdfEngine]],
+        queries: Dict[str, Union[str, Query]],
+        check_correctness: bool = True,
+        engine_kwargs: Optional[Dict[str, dict]] = None,
+    ) -> List[RunResult]:
+        """Load each engine once, run every query, return all results."""
+        parsed: Dict[str, Query] = {
+            name: parse_sparql(q) if isinstance(q, str) else q
+            for name, q in queries.items()
+        }
+        references: Dict[str, Optional[SolutionSet]] = {}
+        for name, query in parsed.items():
+            if check_correctness and isinstance(query, SelectQuery):
+                references[name] = evaluate(query, self.graph)
+            else:
+                references[name] = None
+        kwargs_by_name = engine_kwargs or {}
+        for engine_class in engine_classes:
+            ctx = SparkContext(self.parallelism)
+            kwargs = kwargs_by_name.get(engine_class.profile.name, {})
+            engine = engine_class(ctx, **kwargs)
+            engine.load(self.graph)
+            for name, query in parsed.items():
+                self.results.append(
+                    run_engine_on_query(
+                        engine, query, name, references[name]
+                    )
+                )
+        return self.results
+
+    def incorrect(self) -> List[RunResult]:
+        return [r for r in self.results if r.correct is False]
+
+    def by_engine(self) -> Dict[str, List[RunResult]]:
+        out: Dict[str, List[RunResult]] = {}
+        for result in self.results:
+            out.setdefault(result.engine, []).append(result)
+        return out

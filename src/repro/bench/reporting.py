@@ -1,0 +1,41 @@
+"""Plain-text tables and series for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """An aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max([len(headers[i])] + [len(row[i]) for row in cells])
+        for i in range(len(headers))
+    ]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [sep]
+    lines.append(
+        "|" + "|".join(
+            " %s " % headers[i].ljust(widths[i]) for i in range(len(headers))
+        ) + "|"
+    )
+    lines.append(sep)
+    for row in cells:
+        lines.append(
+            "|" + "|".join(
+                " %s " % row[i].ljust(widths[i]) for i in range(len(row))
+            ) + "|"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, points: Dict[object, object], unit: str = ""
+) -> str:
+    """A labelled x -> y series, one point per line (figure data)."""
+    lines = ["%s:" % title]
+    for x, y in points.items():
+        suffix = " %s" % unit if unit else ""
+        lines.append("  %s -> %s%s" % (x, y, suffix))
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Print the regenerated Figure 1 taxonomy and Tables I/II.
+``survey``
+    Print the per-system survey report (Section IV, generated from the
+    engine profiles).
+``query DATA QUERY [--engine NAME]``
+    Run a SPARQL query file (or literal) against an RDF file (N-Triples
+    ``.nt`` or Turtle ``.ttl``) on a chosen engine; prints the solutions
+    and the measured cost.
+``assess DATA``
+    Run the cross-system assessment matrix on an RDF file.
+``generate {lubm,watdiv} PATH``
+    Write a synthetic dataset to an N-Triples file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.bench import BenchRun, format_table
+from repro.core import (
+    default_registry,
+    render_table_i,
+    render_table_ii,
+    render_taxonomy,
+)
+from repro.core.survey import render_survey
+from repro.data.lubm import LubmGenerator
+from repro.data.watdiv import WatdivGenerator
+from repro.rdf.graph import RDFGraph
+from repro.rdf.ntriples import load_ntriples_file, save_ntriples_file
+from repro.rdf.turtle import parse_turtle
+from repro.spark.context import SparkContext
+from repro.sparql.results import SolutionSet
+from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
+
+
+def load_graph(path: str) -> RDFGraph:
+    """Load an RDF file by extension (.nt or .ttl)."""
+    if path.endswith((".ttl", ".turtle")):
+        with open(path, "r", encoding="utf-8") as handle:
+            return parse_turtle(handle.read())
+    return load_ntriples_file(path)
+
+
+def _engine_class(name: str):
+    if name.lower() == "naive":
+        return NaiveEngine
+    registry = default_registry()
+    try:
+        return registry.by_name(name)
+    except KeyError:
+        choices = ["Naive"] + [c.profile.name for c in registry]
+        raise SystemExit(
+            "unknown engine %r; choose one of: %s" % (name, ", ".join(choices))
+        )
+
+
+def cmd_tables(_args) -> int:
+    print(render_taxonomy())
+    print()
+    print(render_table_i())
+    print()
+    print(render_table_ii())
+    return 0
+
+
+def cmd_survey(_args) -> int:
+    print(render_survey())
+    return 0
+
+
+def cmd_claims(_args) -> int:
+    from repro.core.claims import build_default_assessment
+
+    assessment = build_default_assessment()
+    report = assessment.report()
+    print(report)
+    return 0 if "DOES NOT HOLD" not in report else 1
+
+
+def cmd_query(args) -> int:
+    graph = load_graph(args.data)
+    if os.path.exists(args.query):
+        with open(args.query, "r", encoding="utf-8") as handle:
+            query_text = handle.read()
+    else:
+        query_text = args.query
+    sc = SparkContext(default_parallelism=args.parallelism)
+    engine = _engine_class(args.engine)(sc)
+    engine.load(graph)
+    before = sc.metrics.snapshot()
+    result = engine.execute(query_text)
+    cost = sc.metrics.snapshot() - before
+    if isinstance(result, SolutionSet):
+        headers = ["?" + v for v in result.variables]
+        print(format_table(headers, result.to_table()))
+        print("%d solution(s)" % len(result))
+    elif isinstance(result, bool):
+        print("yes" if result else "no")
+    else:  # CONSTRUCT / DESCRIBE -> a graph
+        for triple in result.to_list():
+            print(triple.n3())
+        print("%d triple(s)" % len(result))
+    print(
+        "cost: scanned=%d shuffled=%d remote=%d comparisons=%d"
+        % (
+            cost.records_scanned,
+            cost.shuffle_records,
+            cost.shuffle_remote_records,
+            cost.join_comparisons,
+        )
+    )
+    return 0
+
+
+def cmd_assess(args) -> int:
+    graph = load_graph(args.data)
+    queries = {
+        "star": LubmGenerator.query_star(),
+        "linear": LubmGenerator.query_linear(),
+        "snowflake": LubmGenerator.query_snowflake(),
+        "complex": LubmGenerator.query_complex(),
+    }
+    bench = BenchRun(graph, parallelism=args.parallelism)
+    results = bench.run((NaiveEngine,) + ALL_ENGINE_CLASSES, queries)
+    rows = [
+        [
+            r.engine,
+            r.query,
+            r.rows,
+            "ok" if r.correct else ("-" if r.correct is None else "WRONG"),
+            r.cost_summary()["records_scanned"],
+            r.cost_summary()["shuffle_records"],
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["engine", "query", "rows", "answers", "scanned", "shuffled"],
+            rows,
+        )
+    )
+    return 1 if bench.incorrect() else 0
+
+
+def cmd_generate(args) -> int:
+    if args.kind == "lubm":
+        graph = LubmGenerator(
+            num_universities=args.scale, seed=args.seed
+        ).generate()
+    else:
+        graph = WatdivGenerator(
+            num_users=30 * args.scale,
+            num_products=15 * args.scale,
+            seed=args.seed,
+        ).generate()
+    written = save_ntriples_file(args.path, graph)
+    print("wrote %d triples to %s" % (written, args.path))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RDF query answering on a Spark-like substrate "
+        "(ICDE 2018 review & assessment, reproduced).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Figure 1 and Tables I/II")
+    sub.add_parser("survey", help="print the per-system survey report")
+    sub.add_parser(
+        "claims", help="check every performance claim of the paper"
+    )
+
+    query = sub.add_parser("query", help="run a SPARQL query on a data file")
+    query.add_argument("data", help="RDF file (.nt or .ttl)")
+    query.add_argument("query", help="SPARQL file or literal query text")
+    query.add_argument(
+        "--engine", default="SPARQLGX", help="engine name (default SPARQLGX)"
+    )
+    query.add_argument("--parallelism", type=int, default=4)
+
+    assess = sub.add_parser(
+        "assess", help="run the cross-system assessment on a data file"
+    )
+    assess.add_argument("data", help="RDF file (.nt or .ttl)")
+    assess.add_argument("--parallelism", type=int, default=4)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic dataset to N-Triples"
+    )
+    generate.add_argument("kind", choices=["lubm", "watdiv"])
+    generate.add_argument("path")
+    generate.add_argument("--scale", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=42)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": cmd_tables,
+        "survey": cmd_survey,
+        "claims": cmd_claims,
+        "query": cmd_query,
+        "assess": cmd_assess,
+        "generate": cmd_generate,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

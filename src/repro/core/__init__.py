@@ -1,0 +1,50 @@
+"""The survey's own contribution, executable.
+
+Section III's evaluation dimensions as enums, Figure 1's taxonomy as a
+data structure, the system registry with every surveyed engine's profile,
+report generators that regenerate Table I / Table II / Figure 1, and the
+claim-checking assessment framework.
+"""
+
+from repro.core.dimensions import (
+    Contribution,
+    DataModel,
+    Optimization,
+    PartitioningStrategy,
+    QueryProcessing,
+    SparkAbstraction,
+)
+from repro.core.taxonomy import TAXONOMY, TaxonomyNode, render_taxonomy
+from repro.core.registry import SystemRegistry, default_registry
+from repro.core.reports import (
+    PAPER_TABLE_I,
+    PAPER_TABLE_II,
+    render_table_i,
+    render_table_ii,
+)
+from repro.core.assessment import Claim, ClaimResult, Assessment
+from repro.core.claims import build_default_assessment
+from repro.core.survey import render_survey
+
+__all__ = [
+    "Assessment",
+    "Claim",
+    "ClaimResult",
+    "Contribution",
+    "DataModel",
+    "Optimization",
+    "PAPER_TABLE_I",
+    "PAPER_TABLE_II",
+    "PartitioningStrategy",
+    "QueryProcessing",
+    "SparkAbstraction",
+    "SystemRegistry",
+    "TAXONOMY",
+    "TaxonomyNode",
+    "build_default_assessment",
+    "render_survey",
+    "default_registry",
+    "render_table_i",
+    "render_table_ii",
+    "render_taxonomy",
+]

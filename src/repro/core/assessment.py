@@ -1,0 +1,79 @@
+"""The assessment framework: the paper's qualitative claims, made testable.
+
+A :class:`Claim` couples a quotation from the paper with an executable
+experiment that returns measured evidence and a pass/fail verdict.  The
+benchmark suite instantiates one claim per performance argument in
+Section IV and reports paper-vs-measured in EXPERIMENTS.md format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class ClaimResult:
+    """Measured evidence for one claim."""
+
+    claim_id: str
+    holds: bool
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        verdict = "HOLDS" if self.holds else "DOES NOT HOLD"
+        details = ", ".join(
+            "%s=%s" % (key, value) for key, value in sorted(self.evidence.items())
+        )
+        return "%s: %s (%s)" % (self.claim_id, verdict, details)
+
+
+@dataclass
+class Claim:
+    """A falsifiable statement from the paper plus its experiment."""
+
+    claim_id: str
+    quotation: str
+    section: str
+    experiment: Callable[[], ClaimResult]
+
+    def check(self) -> ClaimResult:
+        result = self.experiment()
+        if result.claim_id != self.claim_id:
+            raise ValueError(
+                "experiment returned result for %r, expected %r"
+                % (result.claim_id, self.claim_id)
+            )
+        return result
+
+
+class Assessment:
+    """A collection of claims checked together (the survey's assessment)."""
+
+    def __init__(self) -> None:
+        self._claims: List[Claim] = []
+
+    def add(
+        self,
+        claim_id: str,
+        quotation: str,
+        section: str,
+        experiment: Callable[[], ClaimResult],
+    ) -> None:
+        if any(c.claim_id == claim_id for c in self._claims):
+            raise ValueError("duplicate claim id %r" % claim_id)
+        self._claims.append(Claim(claim_id, quotation, section, experiment))
+
+    def claims(self) -> List[Claim]:
+        return list(self._claims)
+
+    def run(self) -> List[ClaimResult]:
+        return [claim.check() for claim in self._claims]
+
+    def report(self) -> str:
+        lines = []
+        for claim, result in zip(self._claims, self.run()):
+            lines.append("%s (%s)" % (claim.claim_id, claim.section))
+            lines.append('  paper: "%s"' % claim.quotation)
+            lines.append("  measured: %s" % result.summary())
+        return "\n".join(lines)

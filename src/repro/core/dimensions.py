@@ -1,0 +1,65 @@
+"""The evaluation dimensions of Section III.
+
+Every engine in ``repro.systems`` self-describes along these dimensions;
+the registry and report generators consume them to rebuild the paper's
+taxonomy and tables.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DataModel(Enum):
+    """How RDF data is modeled for processing (the paper's first axis)."""
+
+    TRIPLE = "The Triple Model"
+    GRAPH = "The Graph Model"
+
+
+class SparkAbstraction(Enum):
+    """Which Spark API carries the implementation (the second axis)."""
+
+    RDD = "RDD"
+    DATAFRAMES = "DataFrames"
+    SPARK_SQL = "Spark SQL"
+    GRAPHX = "GraphX"
+    GRAPHFRAMES = "GraphFrames"
+
+
+class QueryProcessing(Enum):
+    """How SPARQL is translated and evaluated (Table II column 1)."""
+
+    RDD_API = "RDD API"
+    SPARK_SQL = "Spark SQL"
+    HYBRID = "Hybrid"
+    GRAPH_ITERATIONS = "Graph Iterations"
+    SUBGRAPH_MATCHING = "Subgraph Matching"
+    CUSTOM = "Custom"
+
+
+class Optimization(Enum):
+    """Whether the system applies query optimizations (Table II column 2)."""
+
+    YES = "Yes"
+    NO = "No"
+
+
+class PartitioningStrategy(Enum):
+    """Data partitioning strategy (Table II column 3)."""
+
+    HASH_QUERY_AWARE = "Hash / Query Aware"
+    VERTICAL = "Vertical"
+    EXTENDED_VERTICAL = "Extended Vertical"
+    HASH_SUBJECT = "Hash-sbj"
+    DEFAULT = "Default"
+
+
+class Contribution(Enum):
+    """What the system chiefly targets (the 'System Contribution' dimension)."""
+
+    ALL_QUERY_TYPES = "all query types"
+    STAR_QUERIES = "star queries"
+    JOIN_STRATEGY = "join strategy selection"
+    GRAPH_MATCHING = "graph pattern matching"
+    STORAGE_INDEXING = "storage and indexing"

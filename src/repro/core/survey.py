@@ -1,0 +1,54 @@
+"""A generated per-system survey report (Section IV, from the profiles).
+
+``render_survey`` rebuilds the survey's narrative skeleton from the
+machine-readable registry: systems grouped by data model (the paper's
+IV-A "Triple Processing Systems" vs IV-B "Graph Processing"), each with
+its classification along every Section III dimension plus the mechanism
+summary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.dimensions import DataModel
+from repro.core.registry import SystemRegistry, default_registry
+
+
+def render_system(profile) -> str:
+    """One system's entry."""
+    lines = [
+        "%s %s" % (profile.name, profile.citation),
+        "  data model:        %s" % profile.data_model.value,
+        "  spark abstraction: %s"
+        % ", ".join(a.value for a in profile.abstractions),
+        "  query processing:  %s" % profile.query_processing.value,
+        "  optimization:      %s" % profile.optimization.value,
+        "  partitioning:      %s" % profile.partitioning.value,
+        "  sparql fragment:   %s (%s)"
+        % (
+            profile.sparql_fragment,
+            ", ".join(sorted(profile.sparql_features)),
+        ),
+        "  contribution:      %s" % profile.contribution.value,
+    ]
+    if profile.description:
+        lines.append("  mechanism:         %s" % profile.description)
+    return "\n".join(lines)
+
+
+def render_survey(registry: Optional[SystemRegistry] = None) -> str:
+    """The full Section IV-style report."""
+    registry = registry or default_registry()
+    sections: List[str] = ["RDF PROCESSING APPROACHES (generated survey)"]
+    for model, heading in (
+        (DataModel.TRIPLE, "A. Triple Processing Systems"),
+        (DataModel.GRAPH, "B. Graph Processing"),
+    ):
+        sections.append("")
+        sections.append(heading)
+        sections.append("-" * len(heading))
+        for engine_class in registry.classify(data_model=model):
+            sections.append("")
+            sections.append(render_system(engine_class.profile))
+    return "\n".join(sections)

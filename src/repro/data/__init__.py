@@ -1,0 +1,30 @@
+"""Synthetic RDF data and SPARQL workload generators.
+
+Stand-ins for the benchmark datasets the surveyed systems were evaluated
+on: a LUBM-like university graph, a WatDiv-like e-commerce graph, and
+shape-parameterized query workload generators (star / linear / snowflake /
+complex) over arbitrary graphs.
+"""
+
+from repro.data.lubm import LubmGenerator, LUBM
+from repro.data.watdiv import WatdivGenerator, WATDIV
+from repro.data.sp2bench import Sp2bGenerator, SP2B
+from repro.data.workload import (
+    QueryWorkload,
+    WeightedQuery,
+    generate_query,
+    generate_workload,
+)
+
+__all__ = [
+    "LUBM",
+    "LubmGenerator",
+    "QueryWorkload",
+    "SP2B",
+    "Sp2bGenerator",
+    "WATDIV",
+    "WatdivGenerator",
+    "WeightedQuery",
+    "generate_query",
+    "generate_workload",
+]

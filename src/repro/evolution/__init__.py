@@ -1,0 +1,35 @@
+"""Evolving RDF data: the paper's second future-work direction.
+
+Section V: "dynamicity is an important aspect of the RDF data, which are
+constantly evolving ... This raises the need to keep track of the
+different versions of the data, so as to be able to have access not only
+to the latest version, but also to previous ones ... the next generation
+parallel RDF query answering systems should be able to handle evolving
+data in an uninterrupted manner."
+
+* :mod:`repro.evolution.versioned` -- a version-tracked RDF store with
+  the three archiving policies studied by the cited archiving literature
+  (full materialization, delta chains, hybrid checkpoints) and
+  cross-version queries/diffs.
+* :mod:`repro.evolution.live` -- incremental updates to running engines:
+  ``UpdatableEngine`` applies additions/deletions to the distributed
+  store *without* a full reload, keeping query answering uninterrupted.
+"""
+
+from repro.evolution.versioned import (
+    ArchivePolicy,
+    Delta,
+    VersionedGraph,
+)
+from repro.evolution.live import (
+    UpdatableNaiveEngine,
+    UpdatableSparqlgxEngine,
+)
+
+__all__ = [
+    "ArchivePolicy",
+    "Delta",
+    "UpdatableNaiveEngine",
+    "UpdatableSparqlgxEngine",
+    "VersionedGraph",
+]

@@ -1,0 +1,41 @@
+"""The RDF data model and serializations (Section II-A of the paper).
+
+Terms (URIs, literals, blank nodes), triples over
+``(U ∪ B) × U × (U ∪ L ∪ B)``, an indexed in-memory graph, N-Triples and
+Turtle (subset) parsers, RDFS entailment, and the string-to-integer
+dictionary encoding HAQWA applies before distribution.
+"""
+
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.triple import Triple, TripleValidityError
+from repro.rdf.graph import RDFGraph
+from repro.rdf.namespaces import Namespace, NamespaceManager
+from repro.rdf.vocab import RDF, RDFS, XSD
+from repro.rdf.encoding import Dictionary, EncodedTriple
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.rdf.rdfs import RDFSReasoner
+
+__all__ = [
+    "BNode",
+    "Dictionary",
+    "EncodedTriple",
+    "Literal",
+    "NTriplesParseError",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "RDFSReasoner",
+    "RDFGraph",
+    "Term",
+    "Triple",
+    "TripleValidityError",
+    "URI",
+    "XSD",
+    "parse_ntriples",
+    "serialize_ntriples",
+]

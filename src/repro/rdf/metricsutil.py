@@ -1,0 +1,21 @@
+"""Size estimation for RDF terms (shared by encoding and benchmarks)."""
+
+from __future__ import annotations
+
+from repro.rdf.terms import BNode, Literal, Term, URI
+
+
+def term_volume(term: Term) -> int:
+    """Estimated serialized bytes of one term (N-Triples length)."""
+    if isinstance(term, URI):
+        return len(term.value) + 2
+    if isinstance(term, BNode):
+        return len(term.label) + 2
+    if isinstance(term, Literal):
+        size = len(term.lexical) + 2
+        if term.datatype is not None:
+            size += len(term.datatype.value) + 4
+        if term.language is not None:
+            size += len(term.language) + 1
+        return size
+    return len(repr(term))

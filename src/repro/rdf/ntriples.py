@@ -1,0 +1,143 @@
+"""N-Triples: line-oriented parsing and serialization.
+
+The interchange format for loading data into engines (HDFS files in the
+surveyed systems; local files or strings here).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.triple import Triple
+
+
+class NTriplesParseError(ValueError):
+    """Raised with the offending line number and content."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(
+            "line %d: %s (in %r)" % (line_number, reason, line.strip())
+        )
+        self.line_number = line_number
+
+
+_TERM_RE = re.compile(
+    r"""
+    \s*
+    (?: <(?P<uri>[^>]*)>
+      | _:(?P<bnode>[A-Za-z0-9_]+)
+      | "(?P<lexical>(?:[^"\\]|\\.)*)"
+        (?: \^\^<(?P<datatype>[^>]*)> | @(?P<lang>[A-Za-z0-9\-]+) )?
+    )
+    """,
+    re.VERBOSE,
+)
+
+_UNESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    out = []
+    index = 0
+    while index < len(text):
+        if text[index] == "\\" and index + 1 < len(text):
+            pair = text[index : index + 2]
+            if pair in _UNESCAPES:
+                out.append(_UNESCAPES[pair])
+                index += 2
+                continue
+            if pair == "\\u" and index + 6 <= len(text):
+                out.append(chr(int(text[index + 2 : index + 6], 16)))
+                index += 6
+                continue
+            if pair == "\\U" and index + 10 <= len(text):
+                out.append(chr(int(text[index + 2 : index + 10], 16)))
+                index += 10
+                continue
+        out.append(text[index])
+        index += 1
+    return "".join(out)
+
+
+def _parse_term(
+    line: str, position: int, line_number: int
+) -> tuple:
+    match = _TERM_RE.match(line, position)
+    if match is None:
+        raise NTriplesParseError(line_number, line, "expected a term")
+    if match.group("uri") is not None:
+        term: Term = URI(match.group("uri"))
+    elif match.group("bnode") is not None:
+        term = BNode(match.group("bnode"))
+    else:
+        lexical = _unescape(match.group("lexical"))
+        datatype = match.group("datatype")
+        lang = match.group("lang")
+        term = Literal(
+            lexical,
+            datatype=URI(datatype) if datatype else None,
+            language=lang,
+        )
+    return term, match.end()
+
+
+def parse_ntriples_line(line: str, line_number: int = 1) -> Optional[Triple]:
+    """Parse one line; returns None for blank lines and comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    subject, position = _parse_term(line, 0, line_number)
+    predicate, position = _parse_term(line, position, line_number)
+    obj, position = _parse_term(line, position, line_number)
+    tail = line[position:].strip()
+    if tail != ".":
+        raise NTriplesParseError(line_number, line, "expected terminating '.'")
+    try:
+        return Triple(subject, predicate, obj)
+    except ValueError as exc:
+        raise NTriplesParseError(line_number, line, str(exc)) from exc
+
+
+def iter_ntriples(lines: Iterable[str]) -> Iterator[Triple]:
+    """Parse an iterable of lines, yielding triples."""
+    for line_number, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def parse_ntriples(source: Union[str, Iterable[str]]) -> RDFGraph:
+    """Parse N-Triples text (one string) or an iterable of lines."""
+    if isinstance(source, str):
+        source = source.splitlines()
+    return RDFGraph(iter_ntriples(source))
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to N-Triples text (sorted for determinism)."""
+    return "\n".join(t.n3() for t in sorted(triples)) + "\n"
+
+
+def load_ntriples_file(path: str) -> RDFGraph:
+    """Parse an N-Triples file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return RDFGraph(iter_ntriples(handle))
+
+
+def save_ntriples_file(path: str, triples: Iterable[Triple]) -> int:
+    """Write triples to *path*; returns the number written."""
+    items: List[Triple] = sorted(triples)
+    with open(path, "w", encoding="utf-8") as handle:
+        for triple in items:
+            handle.write(triple.n3())
+            handle.write("\n")
+    return len(items)

@@ -1,0 +1,209 @@
+"""RDF terms: the three disjoint resource sets U (URIs), L (literals) and
+B (blank nodes) of Section II-A, plus a total order so term collections can
+be sorted deterministically (ORDER BY, range partitioning).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Term:
+    """Base class for RDF terms.  Terms are immutable and hashable."""
+
+    __slots__ = ()
+
+    #: Sort rank between term kinds: blank nodes < URIs < literals.
+    _kind_rank = 0
+
+    def n3(self) -> str:
+        """The term in N-Triples syntax."""
+        raise NotImplementedError
+
+    def sort_key(self):
+        return (self._kind_rank, self._value_key())
+
+    def _value_key(self):
+        raise NotImplementedError
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() >= other.sort_key()
+
+
+class URI(Term):
+    """A URI reference (the set *U*)."""
+
+    __slots__ = ("value",)
+    _kind_rank = 1
+
+    def __init__(self, value: str) -> None:
+        if not value:
+            raise ValueError("URI cannot be empty")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, val):
+        raise AttributeError("URI is immutable")
+
+    def n3(self) -> str:
+        return "<%s>" % self.value
+
+    def local_name(self) -> str:
+        """The fragment after the last '#' or '/', for display."""
+        for separator in ("#", "/"):
+            if separator in self.value:
+                return self.value.rsplit(separator, 1)[1]
+        return self.value
+
+    def _value_key(self):
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, URI) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("URI", self.value))
+
+    def __repr__(self) -> str:
+        return "URI(%r)" % self.value
+
+
+class BNode(Term):
+    """A blank node (the set *B*): an unknown constant or URI."""
+
+    __slots__ = ("label",)
+    _kind_rank = 0
+    _counter = [0]
+
+    def __init__(self, label: Optional[str] = None) -> None:
+        if label is None:
+            BNode._counter[0] += 1
+            label = "b%d" % BNode._counter[0]
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name, val):
+        raise AttributeError("BNode is immutable")
+
+    def n3(self) -> str:
+        return "_:%s" % self.label
+
+    def _value_key(self):
+        return self.label
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BNode) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(("BNode", self.label))
+
+    def __repr__(self) -> str:
+        return "BNode(%r)" % self.label
+
+
+class Literal(Term):
+    """A literal (the set *L*): lexical form + optional datatype/language."""
+
+    __slots__ = ("lexical", "datatype", "language")
+    _kind_rank = 2
+
+    def __init__(
+        self,
+        lexical: object,
+        datatype: Optional[URI] = None,
+        language: Optional[str] = None,
+    ) -> None:
+        if datatype is not None and language is not None:
+            raise ValueError("a literal cannot have both datatype and language")
+        if isinstance(lexical, bool):
+            datatype = datatype or _XSD_BOOLEAN
+            lexical = "true" if lexical else "false"
+        elif isinstance(lexical, int):
+            datatype = datatype or _XSD_INTEGER
+            lexical = str(lexical)
+        elif isinstance(lexical, float):
+            datatype = datatype or _XSD_DOUBLE
+            lexical = repr(lexical)
+        object.__setattr__(self, "lexical", str(lexical))
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language)
+
+    def __setattr__(self, name, val):
+        raise AttributeError("Literal is immutable")
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language:
+            return '"%s"@%s' % (escaped, self.language)
+        if self.datatype:
+            return '"%s"^^%s' % (escaped, self.datatype.n3())
+        return '"%s"' % escaped
+
+    def to_python(self):
+        """The literal as a Python value when the datatype is numeric/bool."""
+        if self.datatype == _XSD_INTEGER or self.datatype == _XSD_INT:
+            return int(self.lexical)
+        if self.datatype in (_XSD_DOUBLE, _XSD_DECIMAL, _XSD_FLOAT):
+            return float(self.lexical)
+        if self.datatype == _XSD_BOOLEAN:
+            return self.lexical == "true"
+        return self.lexical
+
+    def _value_key(self):
+        value = self.to_python()
+        if isinstance(value, bool):
+            return (0, int(value), "")
+        if isinstance(value, (int, float)):
+            return (1, float(value), "")
+        return (2, 0.0, self.lexical)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.lexical, self.datatype, self.language))
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.datatype:
+            extra = ", datatype=%r" % self.datatype
+        if self.language:
+            extra = ", language=%r" % self.language
+        return "Literal(%r%s)" % (self.lexical, extra)
+
+
+# Module-level datatype URIs; repro.rdf.vocab re-exports them inside XSD.
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+_XSD_INTEGER = URI(_XSD + "integer")
+_XSD_INT = URI(_XSD + "int")
+_XSD_DOUBLE = URI(_XSD + "double")
+_XSD_FLOAT = URI(_XSD + "float")
+_XSD_DECIMAL = URI(_XSD + "decimal")
+_XSD_BOOLEAN = URI(_XSD + "boolean")
+_XSD_STRING = URI(_XSD + "string")

@@ -1,0 +1,42 @@
+"""A deterministic, in-process reimplementation of the Apache Spark data model.
+
+This package provides the substrate every surveyed system in the paper runs
+on: RDDs with lineage and custom partitioners, shuffles with traffic
+accounting, DataFrames with columnar partitions, a Spark-SQL engine with a
+Catalyst-style optimizer, a GraphX-style Pregel engine, and a
+GraphFrames-style motif matcher.
+
+It is *not* a distributed system: partitions are plain Python lists and the
+"cluster" is simulated by mapping partitions onto virtual executors.  What it
+does preserve is everything the paper's assessment depends on -- which
+records move across executors during a shuffle, how many comparisons a join
+performs, how much data a broadcast ships, and how partition placement
+interacts with query shape.
+"""
+
+from repro.spark.broadcast import Broadcast
+from repro.spark.context import SparkContext
+from repro.spark.dataframe import DataFrame
+from repro.spark.metrics import MetricsCollector, MetricsSnapshot
+from repro.spark.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.spark.rdd import RDD
+from repro.spark.row import Row
+from repro.spark.sql.session import SparkSession
+
+__all__ = [
+    "Broadcast",
+    "DataFrame",
+    "HashPartitioner",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+    "Row",
+    "SparkContext",
+    "SparkSession",
+]

@@ -1,0 +1,316 @@
+"""Column expressions: the tiny expression language DataFrames evaluate.
+
+``col("price") > lit(10)`` builds an expression tree; DataFrames and the
+SQL executor evaluate trees against rows.  The Catalyst-style optimizer in
+:mod:`repro.spark.sql.catalyst` rewrites these same trees (constant folding,
+predicate splitting), so the node set is deliberately small and closed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional, Sequence
+
+
+class Expression:
+    """Base class for column expression nodes."""
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        """Evaluate against a mapping of column name -> value."""
+        raise NotImplementedError
+
+    def references(self) -> FrozenSet[str]:
+        """Column names this expression reads."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Expression"]:
+        return ()
+
+    # -- operator sugar -------------------------------------------------
+
+    def _binary(self, op: str, other: object) -> "BinaryOp":
+        return BinaryOp(op, self, _wrap(other))
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        return self._binary("=", other)
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return self._binary("!=", other)
+
+    def __lt__(self, other: object) -> "BinaryOp":
+        return self._binary("<", other)
+
+    def __le__(self, other: object) -> "BinaryOp":
+        return self._binary("<=", other)
+
+    def __gt__(self, other: object) -> "BinaryOp":
+        return self._binary(">", other)
+
+    def __ge__(self, other: object) -> "BinaryOp":
+        return self._binary(">=", other)
+
+    def __and__(self, other: object) -> "BinaryOp":
+        return self._binary("and", other)
+
+    def __or__(self, other: object) -> "BinaryOp":
+        return self._binary("or", other)
+
+    def __add__(self, other: object) -> "BinaryOp":
+        return self._binary("+", other)
+
+    def __sub__(self, other: object) -> "BinaryOp":
+        return self._binary("-", other)
+
+    def __mul__(self, other: object) -> "BinaryOp":
+        return self._binary("*", other)
+
+    def __truediv__(self, other: object) -> "BinaryOp":
+        return self._binary("/", other)
+
+    def __invert__(self) -> "UnaryOp":
+        return UnaryOp("not", self)
+
+    def isNull(self) -> "UnaryOp":
+        return UnaryOp("isnull", self)
+
+    def isNotNull(self) -> "UnaryOp":
+        return UnaryOp("isnotnull", self)
+
+    def isin(self, *values: object) -> "InList":
+        flat = values[0] if len(values) == 1 and isinstance(values[0], (list, tuple, set)) else values
+        return InList(self, [_wrap(v) for v in flat])
+
+    def alias(self, name: str) -> "Alias":
+        return Alias(self, name)
+
+    def __hash__(self) -> int:  # expression trees are used in sets/dicts
+        return hash(repr(self))
+
+    def same_as(self, other: "Expression") -> bool:
+        """Structural equality (``==`` is overloaded to build BinaryOp)."""
+        return repr(self) == repr(other)
+
+
+def _wrap(value: object) -> Expression:
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+class ColumnRef(Expression):
+    """Reference to a named column."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        if self.name not in row:
+            raise KeyError(
+                "unknown column %r; available: %s"
+                % (self.name, sorted(row.keys()))
+            )
+        return row[self.name]
+
+    def references(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return "col(%r)" % self.name
+
+
+class Literal(Expression):
+    """A constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        return self.value
+
+    def references(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "lit(%r)" % (self.value,)
+
+
+_BINARY_IMPLS: Dict[str, Callable[[Any, Any], Any]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class BinaryOp(Expression):
+    """Binary operator; ``and``/``or`` short-circuit and are null-tolerant."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _BINARY_IMPLS and op not in ("and", "or"):
+            raise ValueError("unknown binary operator %r" % op)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        if self.op == "and":
+            return bool(self.left.eval(row)) and bool(self.right.eval(row))
+        if self.op == "or":
+            return bool(self.left.eval(row)) or bool(self.right.eval(row))
+        left = self.left.eval(row)
+        right = self.right.eval(row)
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to "unknown is false/None".
+            return None if self.op in ("+", "-", "*", "/") else False
+        return _BINARY_IMPLS[self.op](left, right)
+
+    def references(self) -> FrozenSet[str]:
+        return self.left.references() | self.right.references()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class UnaryOp(Expression):
+    """``not``, ``isnull`` and ``isnotnull``."""
+
+    def __init__(self, op: str, child: Expression) -> None:
+        if op not in ("not", "isnull", "isnotnull", "neg"):
+            raise ValueError("unknown unary operator %r" % op)
+        self.op = op
+        self.child = child
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        value = self.child.eval(row)
+        if self.op == "not":
+            return not bool(value)
+        if self.op == "isnull":
+            return value is None
+        if self.op == "isnotnull":
+            return value is not None
+        return -value
+
+    def references(self) -> FrozenSet[str]:
+        return self.child.references()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (self.op, self.child)
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)``."""
+
+    def __init__(self, needle: Expression, options: Sequence[Expression]) -> None:
+        self.needle = needle
+        self.options = list(options)
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        value = self.needle.eval(row)
+        return any(value == option.eval(row) for option in self.options)
+
+    def references(self) -> FrozenSet[str]:
+        refs = self.needle.references()
+        for option in self.options:
+            refs |= option.references()
+        return refs
+
+    def children(self) -> Sequence[Expression]:
+        return (self.needle, *self.options)
+
+    def __repr__(self) -> str:
+        return "in(%r, %r)" % (self.needle, self.options)
+
+
+class LikeExpr(Expression):
+    """SQL LIKE with ``%`` (any run) and ``_`` (one char) wildcards."""
+
+    def __init__(self, child: Expression, pattern: str) -> None:
+        import re
+
+        self.child = child
+        self.pattern = pattern
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in pattern
+        )
+        self._regex = re.compile("^%s$" % regex)
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        value = self.child.eval(row)
+        if value is None:
+            return False
+        return self._regex.match(str(value)) is not None
+
+    def references(self) -> FrozenSet[str]:
+        return self.child.references()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "like(%r, %r)" % (self.child, self.pattern)
+
+
+class Alias(Expression):
+    """Renames the value an expression produces in a projection."""
+
+    def __init__(self, child: Expression, name: str) -> None:
+        self.child = child
+        self.name = name
+
+    def eval(self, row: Dict[str, Any]) -> Any:
+        return self.child.eval(row)
+
+    def references(self) -> FrozenSet[str]:
+        return self.child.references()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return "alias(%r, %r)" % (self.child, self.name)
+
+
+def col(name: str) -> ColumnRef:
+    """Build a column reference, mirroring ``pyspark.sql.functions.col``."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Build a literal, mirroring ``pyspark.sql.functions.lit``."""
+    return Literal(value)
+
+
+def output_name(expr: Expression, default: Optional[str] = None) -> str:
+    """The column name a projection of *expr* produces."""
+    if isinstance(expr, Alias):
+        return expr.name
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if default is not None:
+        return default
+    return repr(expr)
+
+
+def split_conjuncts(expr: Expression) -> list:
+    """Flatten nested ANDs into a list of conjuncts (for pushdown)."""
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expression]) -> Optional[Expression]:
+    """Rebuild a single predicate from a list of conjuncts."""
+    result: Optional[Expression] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("and", result, conjunct)
+    return result

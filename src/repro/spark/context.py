@@ -1,0 +1,94 @@
+"""SparkContext: entry point to the simulated cluster."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.spark.broadcast import Broadcast
+from repro.spark.metrics import MetricsCollector
+from repro.spark.partitioner import Partitioner
+from repro.spark.rdd import ParallelCollectionRDD, PrePartitionedRDD, RDD
+
+
+class SparkContext:
+    """Owns the virtual cluster: executors, metrics, and RDD creation.
+
+    Parameters
+    ----------
+    default_parallelism:
+        How many partitions :meth:`parallelize` produces by default.
+    num_executors:
+        How many virtual machines partitions are spread over.  Partition
+        *i* lives on executor ``i % num_executors``; shuffle records that
+        change executor are charged as remote traffic.
+    """
+
+    def __init__(
+        self, default_parallelism: int = 4, num_executors: Optional[int] = None
+    ) -> None:
+        if default_parallelism <= 0:
+            raise ValueError("default_parallelism must be positive")
+        self.default_parallelism = default_parallelism
+        self.num_executors = (
+            default_parallelism if num_executors is None else num_executors
+        )
+        if self.num_executors <= 0:
+            raise ValueError("num_executors must be positive")
+        self.metrics = MetricsCollector()
+        self._rdd_counter = 0
+        self._broadcast_counter = 0
+
+    def _next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    def executor_for(self, partition_index: int) -> int:
+        """The virtual executor hosting *partition_index*."""
+        return partition_index % self.num_executors
+
+    def parallelize(
+        self, data: Iterable[Any], num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute a local collection into an RDD."""
+        return ParallelCollectionRDD(
+            self, data, num_partitions or self.default_parallelism
+        )
+
+    def fromPartitions(
+        self,
+        partitions: List[List[Any]],
+        partitioner: Optional[Partitioner] = None,
+    ) -> RDD:
+        """Create an RDD whose partition placement the caller chose.
+
+        Used by engines that maintain their own stores (vertical partitions,
+        MESG indexes) to declare where each record already lives.
+        """
+        return PrePartitionedRDD(self, partitions, partitioner)
+
+    def emptyRDD(self) -> RDD:
+        return ParallelCollectionRDD(self, [], 1)
+
+    def textFile(self, path: str, num_partitions: Optional[int] = None) -> RDD:
+        """Read a local file into an RDD of lines."""
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line.rstrip("\n") for line in handle]
+        return self.parallelize(lines, num_partitions)
+
+    def broadcast(self, value: Any) -> Broadcast:
+        """Ship a read-only value to every executor (cost is charged)."""
+        self._broadcast_counter += 1
+        return Broadcast(self, value, self._broadcast_counter)
+
+    def accumulator(self, zero: Any = 0, add=None, name: str = None):
+        """Create a write-only shared counter (see
+        :class:`repro.spark.accumulator.Accumulator`)."""
+        from repro.spark.accumulator import Accumulator
+
+        return Accumulator(zero, add, name)
+
+    def __repr__(self) -> str:
+        return "SparkContext(parallelism=%d, executors=%d)" % (
+            self.default_parallelism,
+            self.num_executors,
+        )

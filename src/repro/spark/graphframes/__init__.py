@@ -1,0 +1,12 @@
+"""GraphFrames: graphs over DataFrames with motif-finding queries.
+
+The paper notes GraphFrames as the newest Spark graph API -- DataFrame
+scalability plus, unlike GraphX, direct *queries over graphs*.  The motif
+language implemented here (``(a)-[e]->(b); (b)-[f]->(c)``) is what the
+Bahrami et al. system compiles SPARQL BGPs into.
+"""
+
+from repro.spark.graphframes.graphframe import GraphFrame
+from repro.spark.graphframes.motif import MotifPattern, MotifSyntaxError, parse_motif
+
+__all__ = ["GraphFrame", "MotifPattern", "MotifSyntaxError", "parse_motif"]

@@ -1,0 +1,57 @@
+"""The GraphFrames motif language: parsing ``(a)-[e]->(b); ...`` patterns."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class MotifSyntaxError(ValueError):
+    """Raised for malformed motif strings."""
+
+
+@dataclass(frozen=True)
+class MotifPattern:
+    """One ``(src)-[edge]->(dst)`` term; names are None when anonymous."""
+
+    src: Optional[str]
+    edge: Optional[str]
+    dst: Optional[str]
+
+
+_TERM_RE = re.compile(
+    r"^\(\s*(?P<src>[A-Za-z_][A-Za-z0-9_]*)?\s*\)"
+    r"\s*-\s*\[\s*(?P<edge>[A-Za-z_][A-Za-z0-9_]*)?\s*\]\s*->"
+    r"\s*\(\s*(?P<dst>[A-Za-z_][A-Za-z0-9_]*)?\s*\)$"
+)
+
+
+def parse_motif(motif: str) -> List[MotifPattern]:
+    """Parse a semicolon-separated motif into patterns.
+
+    >>> parse_motif("(a)-[e]->(b); (b)-[]->(c)")
+    [MotifPattern(src='a', edge='e', dst='b'), MotifPattern(src='b', edge=None, dst='c')]
+    """
+    patterns: List[MotifPattern] = []
+    seen_edges = set()
+    for raw_term in motif.split(";"):
+        term = raw_term.strip()
+        if not term:
+            continue
+        match = _TERM_RE.match(term)
+        if match is None:
+            raise MotifSyntaxError("cannot parse motif term %r" % term)
+        edge = match.group("edge")
+        if edge is not None:
+            if edge in seen_edges:
+                raise MotifSyntaxError(
+                    "edge variable %r used more than once" % edge
+                )
+            seen_edges.add(edge)
+        patterns.append(
+            MotifPattern(match.group("src"), edge, match.group("dst"))
+        )
+    if not patterns:
+        raise MotifSyntaxError("empty motif")
+    return patterns

@@ -1,0 +1,34 @@
+"""GraphX: graph-parallel processing over RDDs.
+
+Implements the abstraction the paper's graph-processing systems (S2X,
+Kassaie's subgraph matcher, Spar(k)ql) are built on: a property graph of
+vertex and edge RDDs, triplets, ``aggregateMessages`` with send/merge
+functions, Pregel supersteps, and the stock algorithms the paper mentions
+GraphX shipping with (PageRank, connected components, triangle counting,
+shortest paths).
+"""
+
+from repro.spark.graphx.graph import Edge, EdgeContext, EdgeTriplet, Graph
+from repro.spark.graphx.pregel import pregel
+from repro.spark.graphx.lib import (
+    connected_components,
+    connected_components_pregel,
+    pagerank,
+    shortest_paths,
+    shortest_paths_pregel,
+    triangle_count,
+)
+
+__all__ = [
+    "Edge",
+    "EdgeContext",
+    "EdgeTriplet",
+    "Graph",
+    "connected_components",
+    "connected_components_pregel",
+    "pagerank",
+    "pregel",
+    "shortest_paths",
+    "shortest_paths_pregel",
+    "triangle_count",
+]

@@ -1,0 +1,176 @@
+"""Execution metrics for the simulated cluster.
+
+The paper's assessment of the surveyed systems rests on *cost* arguments:
+how many records a shuffle moves between executors, how many comparisons a
+join performs, how much data a broadcast ships, how many partitions a scan
+touches.  Every operator in :mod:`repro.spark` reports those quantities to
+the :class:`MetricsCollector` owned by its :class:`~repro.spark.context.SparkContext`,
+and every benchmark in ``benchmarks/`` reads them back through
+:class:`MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+def estimate_size(value: object) -> int:
+    """Estimate the serialized size of *value* in bytes.
+
+    A cheap, deterministic stand-in for Java serialization costs: strings
+    cost their length, numbers a machine word, containers the sum of their
+    elements plus a small per-element overhead.  The absolute numbers are
+    arbitrary; the *ratios* between representations (which is what the
+    paper's compression and encoding claims are about) are meaningful.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return 8 + sum(estimate_size(item) + 4 for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            estimate_size(k) + estimate_size(v) + 8 for k, v in value.items()
+        )
+    # Fall back to the repr for user-defined objects; stable and cheap.
+    return len(repr(value))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable copy of the collector's counters.
+
+    Snapshots support subtraction, so benchmarks measure an operation with::
+
+        before = sc.metrics.snapshot()
+        ...  # run the query
+        cost = sc.metrics.snapshot() - before
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        names = set(self.counters) | set(other.counters)
+        return MetricsSnapshot(
+            {name: self[name] - other[name] for name in names}
+        )
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self.counters.items()))
+
+    # Convenience accessors for the counters benchmarks care about most.
+    @property
+    def shuffle_records(self) -> int:
+        return self["shuffle_records"]
+
+    @property
+    def shuffle_remote_records(self) -> int:
+        return self["shuffle_remote_records"]
+
+    @property
+    def shuffle_bytes(self) -> int:
+        return self["shuffle_bytes"]
+
+    @property
+    def join_comparisons(self) -> int:
+        return self["join_comparisons"]
+
+    @property
+    def records_scanned(self) -> int:
+        return self["records_scanned"]
+
+    @property
+    def broadcast_bytes(self) -> int:
+        return self["broadcast_bytes"]
+
+    @property
+    def tasks(self) -> int:
+        return self["tasks"]
+
+    def locality_fraction(self) -> float:
+        """Fraction of shuffled records that stayed on their executor."""
+        total = self.shuffle_records
+        if total == 0:
+            return 1.0
+        return 1.0 - self.shuffle_remote_records / total
+
+
+class MetricsCollector:
+    """Mutable counter registry shared by all operators of one context.
+
+    Counter names used by the substrate:
+
+    ``tasks``
+        Partition computations executed.
+    ``records_scanned``
+        Records read from a source RDD/DataFrame partition.
+    ``shuffle_records`` / ``shuffle_remote_records`` / ``shuffle_bytes``
+        Records (and estimated bytes) moved by shuffles; *remote* counts
+        only records whose map and reduce partitions live on different
+        virtual executors.
+    ``join_comparisons`` / ``join_output_records`` / ``join_probe_lookups``
+        Work performed by hash joins.
+    ``broadcast_count`` / ``broadcast_records`` / ``broadcast_bytes``
+        Data shipped to every executor by broadcast variables.
+    ``partitions_scanned``
+        Partitions touched by scans (vertical partitioning benchmarks).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name*, creating it at zero if absent."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(dict(self._counters))
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    # -- higher-level recording helpers -------------------------------
+
+    def record_task(self) -> None:
+        self.incr("tasks")
+
+    def record_scan(self, num_records: int, partitions: int = 1) -> None:
+        self.incr("records_scanned", num_records)
+        self.incr("partitions_scanned", partitions)
+
+    def record_shuffle(
+        self, records: int, remote_records: int, nbytes: int
+    ) -> None:
+        self.incr("shuffle_records", records)
+        self.incr("shuffle_remote_records", remote_records)
+        self.incr("shuffle_bytes", nbytes)
+        self.incr("shuffles")
+
+    def record_join(
+        self, comparisons: int, probe_lookups: int, output_records: int
+    ) -> None:
+        self.incr("join_comparisons", comparisons)
+        self.incr("join_probe_lookups", probe_lookups)
+        self.incr("join_output_records", output_records)
+
+    def record_broadcast(self, records: int, nbytes: int) -> None:
+        self.incr("broadcast_count")
+        self.incr("broadcast_records", records)
+        self.incr("broadcast_bytes", nbytes)

@@ -1,0 +1,802 @@
+"""Resilient Distributed Datasets: lazy, partitioned, lineage-tracked lists.
+
+This mirrors the RDD programming model the paper's Section III describes:
+an immutable distributed collection operated on through transformations
+(lazy, returning new RDDs) and actions (eager, returning values).  Narrow
+transformations run partition-by-partition; wide ones insert a shuffle whose
+traffic is charged to the context's :class:`MetricsCollector`.
+
+Partitions are plain lists and "distribution" is simulated: partition *i*
+lives on virtual executor ``i % num_executors``.  That is enough to measure
+the property the paper cares about -- whether a join's input records were
+already co-located (local) or had to cross executors (remote).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.spark.metrics import estimate_size
+from repro.spark.partitioner import HashPartitioner, Partitioner, RangePartitioner
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+V = TypeVar("V")
+W = TypeVar("W")
+
+
+class RDD:
+    """An immutable, lazily evaluated, partitioned collection.
+
+    Subclasses implement :meth:`compute` to produce one partition.  User code
+    never constructs RDDs directly; it starts from
+    :meth:`SparkContext.parallelize` and derives new RDDs with the
+    transformation methods below.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        num_partitions: int,
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.num_partitions = num_partitions
+        #: The partitioner whose placement this RDD's partitions satisfy, if
+        #: any.  Joins between two RDDs sharing an equal partitioner skip
+        #: the shuffle -- the basis of every locality claim in the paper.
+        self.partitioner = partitioner
+        self._cached: Optional[Dict[int, List[Any]]] = None
+        self._cache_requested = False
+        self.id = ctx._next_rdd_id()
+
+    # ------------------------------------------------------------------
+    # Evaluation machinery
+    # ------------------------------------------------------------------
+
+    def compute(self, index: int) -> List[Any]:
+        """Produce partition *index*.  Overridden by each RDD kind."""
+        raise NotImplementedError
+
+    def _iterate(self, index: int) -> List[Any]:
+        """Evaluate one partition, honouring the cache, charging one task.
+
+        Caching is per partition on first computation, like Spark: once a
+        partition of a cached RDD has been computed (by any descendant),
+        it is never recomputed.
+        """
+        if self._cached is not None and index in self._cached:
+            return self._cached[index]
+        self.ctx.metrics.record_task()
+        data = self.compute(index)
+        if self._cache_requested:
+            if self._cached is None:
+                self._cached = {}
+            self._cached[index] = data
+        return data
+
+    def _materialize(self) -> List[List[Any]]:
+        """Evaluate every partition (filling the cache when requested)."""
+        return [self._iterate(i) for i in range(self.num_partitions)]
+
+    def cache(self) -> "RDD":
+        """Keep computed partitions in memory for reuse (like ``persist``)."""
+        self._cache_requested = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        self._cache_requested = False
+        self._cached = None
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        return self._cached is not None
+
+    # ------------------------------------------------------------------
+    # Narrow transformations
+    # ------------------------------------------------------------------
+
+    def mapPartitionsWithIndex(
+        self,
+        func: Callable[[int, List[Any]], Iterable[Any]],
+        preserves_partitioning: bool = False,
+    ) -> "RDD":
+        return MapPartitionsRDD(self, func, preserves_partitioning)
+
+    def mapPartitions(
+        self,
+        func: Callable[[List[Any]], Iterable[Any]],
+        preserves_partitioning: bool = False,
+    ) -> "RDD":
+        return self.mapPartitionsWithIndex(
+            lambda _, part: func(part), preserves_partitioning
+        )
+
+    def map(self, func: Callable[[Any], Any]) -> "RDD":
+        return self.mapPartitions(lambda part: [func(x) for x in part])
+
+    def flatMap(self, func: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return self.mapPartitions(
+            lambda part: [y for x in part for y in func(x)]
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        return self.mapPartitions(
+            lambda part: [x for x in part if predicate(x)],
+            preserves_partitioning=True,
+        )
+
+    def keyBy(self, func: Callable[[Any], Any]) -> "RDD":
+        """Pair each element with ``func(element)`` as its key."""
+        return self.map(lambda x: (func(x), x))
+
+    def keys(self) -> "RDD":
+        return self.map(lambda kv: kv[0])
+
+    def values(self) -> "RDD":
+        return self.map(lambda kv: kv[1])
+
+    def mapValues(self, func: Callable[[Any], Any]) -> "RDD":
+        return self.mapPartitions(
+            lambda part: [(k, func(v)) for k, v in part],
+            preserves_partitioning=True,
+        )
+
+    def flatMapValues(self, func: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return self.mapPartitions(
+            lambda part: [(k, u) for k, v in part for u in func(v)],
+            preserves_partitioning=True,
+        )
+
+    def glom(self) -> "RDD":
+        """Turn each partition into a single list element."""
+        return self.mapPartitions(lambda part: [list(part)])
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self, other)
+
+    def sample(self, fraction: float, seed: int = 17) -> "RDD":
+        """Deterministic Bernoulli sample of each partition."""
+
+        def sample_partition(index: int, part: List[Any]) -> List[Any]:
+            rng = random.Random(seed * 1000003 + index)
+            return [x for x in part if rng.random() < fraction]
+
+        return self.mapPartitionsWithIndex(sample_partition)
+
+    def zipWithIndex(self) -> "RDD":
+        """Pair each element with its global position (eagerly sizes partitions)."""
+        sizes = [len(self._iterate(i)) for i in range(self.num_partitions)]
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+
+        def zip_partition(index: int, part: List[Any]) -> List[Any]:
+            start = offsets[index]
+            return [(x, start + pos) for pos, x in enumerate(part)]
+
+        return self.mapPartitionsWithIndex(zip_partition)
+
+    # ------------------------------------------------------------------
+    # Wide transformations (shuffles)
+    # ------------------------------------------------------------------
+
+    def partitionBy(self, partitioner: Partitioner) -> "RDD":
+        """Shuffle (key, value) pairs so placement satisfies *partitioner*.
+
+        A no-op (no shuffle, no traffic) when this RDD already satisfies an
+        equal partitioner -- exactly Spark's behaviour, and the mechanism
+        behind "star-shaped queries are performed locally" in HAQWA.
+        """
+        if self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(self, partitioner)
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Redistribute elements round-robin into *num_partitions* parts."""
+        indexed = self.zipWithIndex().map(lambda xi: (xi[1], xi[0]))
+        shuffled = indexed.partitionBy(HashPartitioner(num_partitions))
+        return shuffled.values()
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Reduce partition count without a shuffle by merging neighbours."""
+        if num_partitions >= self.num_partitions:
+            return self
+        return CoalescedRDD(self, num_partitions)
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        n = num_partitions or self.num_partitions
+        return (
+            self.map(lambda x: (x, None))
+            .reduceByKey(lambda a, _b: a, n)
+            .keys()
+        )
+
+    def combineByKey(
+        self,
+        create_combiner: Callable[[Any], Any],
+        merge_value: Callable[[Any, Any], Any],
+        merge_combiners: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        """The general shuffle-with-aggregation primitive.
+
+        Map-side combining runs before the shuffle, so e.g. ``reduceByKey``
+        ships one record per (map partition, key) instead of one per input
+        record -- observable in the shuffle counters.
+        """
+        part = partitioner or HashPartitioner(
+            num_partitions or self.num_partitions
+        )
+        return ShuffledRDD(
+            self,
+            part,
+            aggregator=(create_combiner, merge_value, merge_combiners),
+        )
+
+    def reduceByKey(
+        self,
+        func: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        return self.combineByKey(
+            lambda v: v, func, func, num_partitions, partitioner
+        )
+
+    def groupByKey(
+        self,
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        return self.combineByKey(
+            lambda v: [v],
+            lambda acc, v: acc + [v],
+            lambda a, b: a + b,
+            num_partitions,
+            partitioner,
+        )
+
+    def aggregateByKey(
+        self,
+        zero: Any,
+        seq_func: Callable[[Any, Any], Any],
+        comb_func: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Aggregate values per key with a zero value and two functions.
+
+        *seq_func* folds a value into an accumulator (map side);
+        *comb_func* merges accumulators (reduce side).  *zero* must be
+        immutable or treated as such.
+        """
+        return self.combineByKey(
+            lambda v: seq_func(zero, v),
+            seq_func,
+            comb_func,
+            num_partitions,
+        )
+
+    def foldByKey(
+        self,
+        zero: Any,
+        func: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        return self.aggregateByKey(zero, func, func, num_partitions)
+
+    def cogroup(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Group both RDDs by key: ``(key, (values_here, values_there))``.
+
+        Reuses an existing common partitioner when both sides have one, in
+        which case no data moves at all.
+        """
+        if (
+            self.partitioner is not None
+            and self.partitioner == other.partitioner
+        ):
+            partitioner = self.partitioner
+        else:
+            partitioner = HashPartitioner(
+                num_partitions
+                or max(self.num_partitions, other.num_partitions)
+            )
+        left = self.partitionBy(partitioner)
+        right = other.partitionBy(partitioner)
+        return CoGroupedRDD(left, right, partitioner)
+
+    def _join_with(
+        self,
+        other: "RDD",
+        join_type: str,
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        grouped = self.cogroup(other, num_partitions)
+        metrics = self.ctx.metrics
+
+        def emit(part: List[Any]) -> List[Any]:
+            out: List[Any] = []
+            comparisons = 0
+            for key, (lefts, rights) in part:
+                comparisons += max(len(lefts), 1) * max(len(rights), 1)
+                if lefts and rights:
+                    for lv in lefts:
+                        for rv in rights:
+                            out.append((key, (lv, rv)))
+                elif lefts and join_type in ("left", "full"):
+                    for lv in lefts:
+                        out.append((key, (lv, None)))
+                elif rights and join_type in ("right", "full"):
+                    for rv in rights:
+                        out.append((key, (None, rv)))
+            metrics.record_join(comparisons, len(part), len(out))
+            return out
+
+        return grouped.mapPartitions(emit, preserves_partitioning=True)
+
+    def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        """Inner hash join on keys (a *partitioned join* in the paper's terms)."""
+        return self._join_with(other, "inner", num_partitions)
+
+    def leftOuterJoin(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return self._join_with(other, "left", num_partitions)
+
+    def rightOuterJoin(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return self._join_with(other, "right", num_partitions)
+
+    def fullOuterJoin(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return self._join_with(other, "full", num_partitions)
+
+    def broadcastJoin(self, other: "RDD") -> "RDD":
+        """Inner join shipping *other* whole to every executor (map-side join).
+
+        No shuffle of this RDD; the cost is the broadcast of the build side.
+        This is the second distributed join algorithm studied by the hybrid
+        approach (Section IV-A3).
+        """
+        build: Dict[Any, List[Any]] = defaultdict(list)
+        for part in other._materialize():
+            for key, value in part:
+                build[key].append(value)
+        bcast = self.ctx.broadcast(dict(build))
+        metrics = self.ctx.metrics
+
+        def probe(part: List[Any]) -> List[Any]:
+            table = bcast.value
+            out = []
+            comparisons = 0
+            for key, value in part:
+                matches = table.get(key)
+                if matches:
+                    comparisons += len(matches)
+                    for build_value in matches:
+                        out.append((key, (value, build_value)))
+                else:
+                    comparisons += 1
+            metrics.record_join(comparisons, len(part), len(out))
+            return out
+
+        return self.mapPartitions(probe, preserves_partitioning=True)
+
+    def subtractByKey(self, other: "RDD") -> "RDD":
+        grouped = self.cogroup(other)
+        return grouped.flatMap(
+            lambda item: [(item[0], v) for v in item[1][0]]
+            if not item[1][1]
+            else []
+        )
+
+    def subtract(self, other: "RDD") -> "RDD":
+        left = self.map(lambda x: (x, None))
+        right = other.map(lambda x: (x, None))
+        return left.subtractByKey(right).keys()
+
+    def intersection(self, other: "RDD") -> "RDD":
+        left = self.map(lambda x: (x, None))
+        right = other.map(lambda x: (x, None))
+        return (
+            left.cogroup(right)
+            .filter(lambda item: bool(item[1][0]) and bool(item[1][1]))
+            .keys()
+        )
+
+    def cartesian(self, other: "RDD") -> "RDD":
+        """All pairs; charges the full nested-loop comparison count."""
+        return CartesianRDD(self, other)
+
+    def sortBy(
+        self,
+        keyfunc: Callable[[Any], Any],
+        ascending: bool = True,
+        num_partitions: Optional[int] = None,
+    ) -> "RDD":
+        """Total sort via sampled range partitioning, like Spark's sortBy."""
+        n = num_partitions or self.num_partitions
+        sample = [
+            keyfunc(x)
+            for part in self._materialize()
+            for x in part
+        ]
+        sample.sort()
+        if n > 1 and sample:
+            step = max(len(sample) // n, 1)
+            bounds = sample[step::step][: n - 1]
+        else:
+            bounds = []
+        partitioner = RangePartitioner(n, bounds)
+        keyed = self.keyBy(keyfunc)
+        shuffled = keyed.partitionBy(partitioner)
+
+        def sort_partition(part: List[Any]) -> List[Any]:
+            ordered = sorted(part, key=lambda kv: kv[0], reverse=not ascending)
+            return [v for _k, v in ordered]
+
+        result = shuffled.mapPartitions(sort_partition)
+        if not ascending:
+            return ReversedPartitionsRDD(result)
+        return result
+
+    def sortByKey(
+        self, ascending: bool = True, num_partitions: Optional[int] = None
+    ) -> "RDD":
+        return (
+            self.map(lambda kv: kv)
+            .sortBy(lambda kv: kv[0], ascending, num_partitions)
+        )
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def collect(self) -> List[Any]:
+        return [x for part in self._materialize() for x in part]
+
+    def count(self) -> int:
+        return sum(len(part) for part in self._materialize())
+
+    def isEmpty(self) -> bool:
+        return all(not self._iterate(i) for i in range(self.num_partitions))
+
+    def first(self) -> Any:
+        for i in range(self.num_partitions):
+            part = self._iterate(i)
+            if part:
+                return part[0]
+        raise ValueError("RDD is empty")
+
+    def take(self, n: int) -> List[Any]:
+        out: List[Any] = []
+        for i in range(self.num_partitions):
+            if len(out) >= n:
+                break
+            out.extend(self._iterate(i)[: n - len(out)])
+        return out
+
+    def top(self, n: int, key: Optional[Callable[[Any], Any]] = None) -> List[Any]:
+        return sorted(self.collect(), key=key, reverse=True)[:n]
+
+    def takeOrdered(
+        self, n: int, key: Optional[Callable[[Any], Any]] = None
+    ) -> List[Any]:
+        """The *n* smallest elements (by *key*), like Spark's takeOrdered."""
+        return sorted(self.collect(), key=key)[:n]
+
+    def zip(self, other: "RDD") -> "RDD":
+        """Pair elements positionally; lengths must match."""
+        left = self.collect()
+        right = other.collect()
+        if len(left) != len(right):
+            raise ValueError(
+                "cannot zip RDDs of different lengths: %d vs %d"
+                % (len(left), len(right))
+            )
+        return self.ctx.parallelize(
+            list(zip(left, right)), self.num_partitions
+        )
+
+    def reduce(self, func: Callable[[Any, Any], Any]) -> Any:
+        items = self.collect()
+        if not items:
+            raise ValueError("cannot reduce an empty RDD")
+        acc = items[0]
+        for item in items[1:]:
+            acc = func(acc, item)
+        return acc
+
+    def fold(self, zero: Any, func: Callable[[Any, Any], Any]) -> Any:
+        acc = zero
+        for item in self.collect():
+            acc = func(acc, item)
+        return acc
+
+    def sum(self) -> Any:
+        return sum(self.collect())
+
+    def max(self, key: Optional[Callable[[Any], Any]] = None) -> Any:
+        return max(self.collect(), key=key) if key else max(self.collect())
+
+    def min(self, key: Optional[Callable[[Any], Any]] = None) -> Any:
+        return min(self.collect(), key=key) if key else min(self.collect())
+
+    def countByKey(self) -> Dict[Any, int]:
+        counts: Dict[Any, int] = defaultdict(int)
+        for key, _value in self.collect():
+            counts[key] += 1
+        return dict(counts)
+
+    def countByValue(self) -> Dict[Any, int]:
+        counts: Dict[Any, int] = defaultdict(int)
+        for item in self.collect():
+            counts[item] += 1
+        return dict(counts)
+
+    def lookup(self, key: Any) -> List[Any]:
+        """Values for *key*; scans only its partition when a partitioner is set."""
+        if self.partitioner is not None:
+            index = self.partitioner.partition_for(key)
+            return [v for k, v in self._iterate(index) if k == key]
+        return [v for k, v in self.collect() if k == key]
+
+    def foreach(self, func: Callable[[Any], None]) -> None:
+        for item in self.collect():
+            func(item)
+
+    def collectPartitions(self) -> List[List[Any]]:
+        """Materialized partitions, for tests asserting placement."""
+        return [list(part) for part in self._materialize()]
+
+    def __repr__(self) -> str:
+        return "%s(id=%d, partitions=%d)" % (
+            type(self).__name__,
+            self.id,
+            self.num_partitions,
+        )
+
+
+class ParallelCollectionRDD(RDD):
+    """Leaf RDD over an in-memory collection split into even slices."""
+
+    def __init__(self, ctx, data: Iterable[Any], num_partitions: int) -> None:
+        items = list(data)
+        num_partitions = max(1, min(num_partitions, max(len(items), 1)))
+        super().__init__(ctx, num_partitions)
+        self._slices: List[List[Any]] = [[] for _ in range(num_partitions)]
+        for i, item in enumerate(items):
+            self._slices[i * num_partitions // max(len(items), 1)].append(item)
+
+    def compute(self, index: int) -> List[Any]:
+        part = self._slices[index]
+        self.ctx.metrics.record_scan(len(part))
+        return list(part)
+
+
+class PrePartitionedRDD(RDD):
+    """Leaf RDD whose partitions were placed by the caller.
+
+    Systems that build bespoke stores (SPARQLGX's vertical partitions,
+    SparkRDF's MESG) use this to declare both the placement and the
+    partitioner it satisfies.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        partitions: List[List[Any]],
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        super().__init__(ctx, max(len(partitions), 1), partitioner)
+        self._parts = [list(p) for p in partitions] or [[]]
+
+    def compute(self, index: int) -> List[Any]:
+        part = self._parts[index]
+        self.ctx.metrics.record_scan(len(part))
+        return list(part)
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow transformation applying a function to each parent partition."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        func: Callable[[int, List[Any]], Iterable[Any]],
+        preserves_partitioning: bool,
+    ) -> None:
+        super().__init__(
+            parent.ctx,
+            parent.num_partitions,
+            parent.partitioner if preserves_partitioning else None,
+        )
+        self.parent = parent
+        self.func = func
+
+    def compute(self, index: int) -> List[Any]:
+        return list(self.func(index, self.parent._iterate(index)))
+
+
+class UnionRDD(RDD):
+    """Concatenation of two RDDs' partitions (narrow, no shuffle)."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        if left.ctx is not right.ctx:
+            raise ValueError("cannot union RDDs from different contexts")
+        super().__init__(
+            left.ctx, left.num_partitions + right.num_partitions
+        )
+        self.left = left
+        self.right = right
+
+    def compute(self, index: int) -> List[Any]:
+        if index < self.left.num_partitions:
+            return self.left._iterate(index)
+        return self.right._iterate(index - self.left.num_partitions)
+
+
+class CoalescedRDD(RDD):
+    """Merges contiguous parent partitions without shuffling."""
+
+    def __init__(self, parent: RDD, num_partitions: int) -> None:
+        super().__init__(parent.ctx, num_partitions)
+        self.parent = parent
+        self._groups: List[List[int]] = [[] for _ in range(num_partitions)]
+        for i in range(parent.num_partitions):
+            self._groups[i * num_partitions // parent.num_partitions].append(i)
+
+    def compute(self, index: int) -> List[Any]:
+        out: List[Any] = []
+        for parent_index in self._groups[index]:
+            out.extend(self.parent._iterate(parent_index))
+        return out
+
+
+class ReversedPartitionsRDD(RDD):
+    """Presents the parent's partitions in reverse order (descending sorts)."""
+
+    def __init__(self, parent: RDD) -> None:
+        super().__init__(parent.ctx, parent.num_partitions)
+        self.parent = parent
+
+    def compute(self, index: int) -> List[Any]:
+        return self.parent._iterate(self.num_partitions - 1 - index)
+
+
+class ShuffledRDD(RDD):
+    """Wide dependency: repartitions (key, value) records by *partitioner*.
+
+    The shuffle is simulated in one pass on first access and its traffic
+    recorded: every record is charged, and records whose map partition and
+    reduce partition live on different virtual executors count as remote.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner: Partitioner,
+        aggregator: Optional[
+            Tuple[
+                Callable[[Any], Any],
+                Callable[[Any, Any], Any],
+                Callable[[Any, Any], Any],
+            ]
+        ] = None,
+    ) -> None:
+        super().__init__(parent.ctx, partitioner.num_partitions, partitioner)
+        self.parent = parent
+        self.aggregator = aggregator
+        self._buckets: Optional[List[List[Any]]] = None
+
+    def _ensure_shuffled(self) -> List[List[Any]]:
+        if self._buckets is not None:
+            return self._buckets
+        ctx = self.ctx
+        num_out = self.partitioner.num_partitions
+        buckets: List[List[Any]] = [[] for _ in range(num_out)]
+        records = remote = nbytes = 0
+        for map_index in range(self.parent.num_partitions):
+            part = self.parent._iterate(map_index)
+            if self.aggregator is not None:
+                create, merge_value, _merge_combiners = self.aggregator
+                combined: Dict[Any, Any] = {}
+                for key, value in part:
+                    if key in combined:
+                        combined[key] = merge_value(combined[key], value)
+                    else:
+                        combined[key] = create(value)
+                outgoing: Iterable[Tuple[Any, Any]] = combined.items()
+            else:
+                outgoing = part
+            for key, value in outgoing:
+                reduce_index = self.partitioner.partition_for(key)
+                buckets[reduce_index].append((key, value))
+                records += 1
+                nbytes += estimate_size((key, value))
+                if ctx.executor_for(map_index) != ctx.executor_for(
+                    reduce_index
+                ):
+                    remote += 1
+        if self.aggregator is not None:
+            _create, _merge_value, merge_combiners = self.aggregator
+            for i, bucket in enumerate(buckets):
+                merged: Dict[Any, Any] = {}
+                for key, value in bucket:
+                    if key in merged:
+                        merged[key] = merge_combiners(merged[key], value)
+                    else:
+                        merged[key] = value
+                buckets[i] = list(merged.items())
+        ctx.metrics.record_shuffle(records, remote, nbytes)
+        self._buckets = buckets
+        return buckets
+
+    def compute(self, index: int) -> List[Any]:
+        return list(self._ensure_shuffled()[index])
+
+
+class CoGroupedRDD(RDD):
+    """Per-partition grouping of two equally partitioned pair-RDDs."""
+
+    def __init__(self, left: RDD, right: RDD, partitioner: Partitioner) -> None:
+        super().__init__(left.ctx, partitioner.num_partitions, partitioner)
+        self.left = left
+        self.right = right
+
+    def compute(self, index: int) -> List[Any]:
+        groups: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+        for key, value in self.left._iterate(index):
+            groups.setdefault(key, ([], []))[0].append(value)
+        for key, value in self.right._iterate(index):
+            groups.setdefault(key, ([], []))[1].append(value)
+        return list(groups.items())
+
+
+class CartesianRDD(RDD):
+    """All pairs of two RDDs; the nested-loop cost is charged as comparisons.
+
+    The paper singles out cartesian products as the failure mode of naive
+    SPARQL-on-Spark-SQL translation (Section IV-A3) and as SPARQLGX's
+    fallback for disjoint triple patterns.
+    """
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(
+            left.ctx, left.num_partitions * right.num_partitions
+        )
+        self.left = left
+        self.right = right
+
+    def compute(self, index: int) -> List[Any]:
+        left_index = index // self.right.num_partitions
+        right_index = index % self.right.num_partitions
+        left_part = self.left._iterate(left_index)
+        right_part = self.right._iterate(right_index)
+        out = [(l, r) for l in left_part for r in right_part]
+        self.ctx.metrics.record_join(
+            comparisons=len(left_part) * len(right_part),
+            probe_lookups=len(left_part),
+            output_records=len(out),
+        )
+        return out

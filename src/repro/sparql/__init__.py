@@ -1,0 +1,39 @@
+"""SPARQL: the standard query language for the semantic web (Section II-B).
+
+A tokenizer and recursive-descent parser for the BGP+ fragment the surveyed
+systems support (basic graph patterns, FILTER, OPTIONAL, UNION, DISTINCT,
+ORDER BY, LIMIT/OFFSET, SELECT/ASK), translation to SPARQL algebra, a
+reference evaluator over any triple source, query-shape classification
+(star / linear / snowflake / complex), and solution-set containers.
+"""
+
+from repro.sparql.ast import (
+    AskQuery,
+    GroupGraphPattern,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from repro.sparql.parser import SparqlParseError, parse_sparql
+from repro.sparql.algebra import evaluate, translate
+from repro.sparql.results import Solution, SolutionSet
+from repro.sparql.shapes import QueryShape, classify_shape
+from repro.sparql.fragments import SparqlFragment, fragment_of
+
+__all__ = [
+    "AskQuery",
+    "GroupGraphPattern",
+    "QueryShape",
+    "SelectQuery",
+    "Solution",
+    "SolutionSet",
+    "SparqlFragment",
+    "SparqlParseError",
+    "TriplePattern",
+    "Variable",
+    "classify_shape",
+    "evaluate",
+    "fragment_of",
+    "parse_sparql",
+    "translate",
+]

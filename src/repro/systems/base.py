@@ -1,0 +1,320 @@
+"""The common engine interface and the shared distributed query driver.
+
+Every surveyed system provides a distributed *BGP* evaluator; the
+operations beyond BGPs -- FILTER, OPTIONAL, UNION, solution modifiers --
+are, as the paper repeatedly notes (e.g. for S2X: "implemented with the
+use of Spark API"), executed with ordinary data-parallel Spark operators.
+:class:`SparkRdfEngine` therefore drives the full SPARQL algebra over RDDs
+of bindings and delegates only BGP evaluation to each engine's specific
+storage/partitioning/matching machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.dimensions import (
+    Contribution,
+    DataModel,
+    Optimization,
+    PartitioningStrategy,
+    QueryProcessing,
+    SparkAbstraction,
+)
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import Term
+from repro.spark.context import SparkContext
+from repro.spark.rdd import RDD
+from repro.sparql.algebra import (
+    AlgebraFilter,
+    AlgebraJoin,
+    AlgebraNode,
+    AlgebraUnion,
+    BGP,
+    LeftJoin,
+    apply_solution_modifiers,
+    translate,
+)
+from repro.sparql.ast import AskQuery, Query, SelectQuery, TriplePattern, Variable
+from repro.sparql.filtereval import passes_filter
+from repro.sparql.fragments import (
+    ALL_FEATURES,
+    FEATURE_BGP,
+    features_of,
+)
+from repro.sparql.parser import parse_sparql
+from repro.sparql.results import Solution, SolutionSet
+
+#: A binding inside an RDD: variable name -> term.
+Binding = Dict[str, Term]
+
+
+class UnsupportedQueryError(ValueError):
+    """The engine's published SPARQL fragment does not cover the query."""
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Machine-readable Table I/II classification of one system."""
+
+    name: str
+    citation: str
+    data_model: DataModel
+    abstractions: Tuple[SparkAbstraction, ...]
+    query_processing: QueryProcessing
+    optimization: Optimization
+    partitioning: PartitioningStrategy
+    sparql_features: FrozenSet[str]
+    contribution: Contribution
+    description: str = ""
+
+    @property
+    def sparql_fragment(self) -> str:
+        """"BGP" or "BGP+" exactly as Table II prints it."""
+        return "BGP" if self.sparql_features == {FEATURE_BGP} else "BGP+"
+
+
+def pattern_variables(patterns: Sequence[TriplePattern]) -> List[str]:
+    """All variable names across *patterns*, in first-seen order."""
+    seen: List[str] = []
+    for pattern in patterns:
+        for variable in pattern.variables():
+            if variable.name not in seen:
+                seen.append(variable.name)
+    return seen
+
+
+def node_variables(node: AlgebraNode) -> Set[str]:
+    """Variables an algebra node can bind (for static join-key planning)."""
+    if isinstance(node, BGP):
+        return set(pattern_variables(node.patterns))
+    if isinstance(node, (AlgebraJoin, LeftJoin)):
+        return node_variables(node.left) | node_variables(node.right)
+    if isinstance(node, AlgebraUnion):
+        out: Set[str] = set()
+        for branch in node.branches:
+            out |= node_variables(branch)
+        return out
+    if isinstance(node, AlgebraFilter):
+        return node_variables(node.child)
+    raise TypeError("unknown algebra node %r" % (node,))
+
+
+def join_binding_rdds(
+    left: RDD, right: RDD, shared: Sequence[str], how: str = "inner"
+) -> RDD:
+    """Join two RDDs of bindings on the given shared variable names.
+
+    With no shared variables this degenerates to a cartesian product --
+    exactly Spark's behaviour the paper criticizes.
+    """
+    if not shared:
+        product = left.cartesian(right)
+        return product.map(lambda pair: {**pair[0], **pair[1]})
+    key = tuple(sorted(shared))
+
+    def key_of(binding: Binding):
+        return tuple(binding[name] for name in key)
+
+    left_pairs = left.map(lambda b: (key_of(b), b))
+    right_pairs = right.map(lambda b: (key_of(b), b))
+    if how == "inner":
+        joined = left_pairs.join(right_pairs)
+        return joined.map(lambda kv: {**kv[1][0], **kv[1][1]})
+    if how == "left":
+        joined = left_pairs.leftOuterJoin(right_pairs)
+        return joined.map(
+            lambda kv: {**kv[1][0], **(kv[1][1] or {})}
+        )
+    raise ValueError("unknown join type %r" % how)
+
+
+class SparkRdfEngine:
+    """Abstract distributed SPARQL engine over the simulated cluster.
+
+    Subclasses set :attr:`profile`, build their store in :meth:`_build`,
+    and evaluate basic graph patterns in :meth:`_evaluate_bgp`.
+    """
+
+    profile: EngineProfile
+
+    def __init__(self, ctx: Optional[SparkContext] = None) -> None:
+        self.ctx = ctx or SparkContext()
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self, graph: RDFGraph) -> "SparkRdfEngine":
+        """Ingest a graph, building the engine's distributed representation."""
+        self._build(graph)
+        self._loaded = True
+        return self
+
+    def _build(self, graph: RDFGraph) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def supports(self, query: Query) -> bool:
+        """Whether the engine's published fragment covers *query*."""
+        return features_of(query) <= self.profile.sparql_features
+
+    def execute(self, query: Union[str, Query]):
+        """Run a SPARQL query.
+
+        SELECT -> :class:`SolutionSet`, ASK -> bool, CONSTRUCT/DESCRIBE ->
+        :class:`~repro.rdf.graph.RDFGraph` (Section II-B's output types).
+        The WHERE clause always evaluates distributedly through the
+        engine's own machinery.
+        """
+        if isinstance(query, str):
+            query = parse_sparql(query)
+        if not self._loaded:
+            raise RuntimeError("call load() before execute()")
+        if not self.supports(query):
+            missing = features_of(query) - self.profile.sparql_features
+            raise UnsupportedQueryError(
+                "%s supports %s only; query needs %s"
+                % (
+                    self.profile.name,
+                    self.profile.sparql_fragment,
+                    sorted(missing),
+                )
+            )
+        from repro.sparql.algebra import (
+            instantiate_template,
+            translate_group,
+        )
+        from repro.sparql.ast import ConstructQuery, DescribeQuery
+
+        if isinstance(query, ConstructQuery):
+            bindings = self._evaluate_node(translate_group(query.where))
+            solutions = [Solution(b) for b in bindings.collect()]
+            return instantiate_template(query.template, solutions)
+        if isinstance(query, DescribeQuery):
+            return self._execute_describe(query)
+        node = translate(query)
+        bindings = self._evaluate_node(node)
+        solutions = [Solution(b) for b in bindings.collect()]
+        if isinstance(query, AskQuery):
+            return bool(solutions)
+        return apply_solution_modifiers(query, solutions)
+
+    def _execute_describe(self, query):
+        """DESCRIBE: resolve resources, then fetch their subject triples
+        through the engine's own distributed pattern evaluation."""
+        from repro.rdf.graph import RDFGraph
+        from repro.rdf.triple import Triple, TripleValidityError
+        from repro.sparql.algebra import translate_group
+
+        resources = list(query.terms)
+        if query.where is not None:
+            bindings = self._evaluate_node(translate_group(query.where))
+            for binding in bindings.collect():
+                for variable in query.variables:
+                    value = binding.get(variable.name)
+                    if value is not None:
+                        resources.append(value)
+        graph = RDFGraph()
+        for resource in dict.fromkeys(resources):
+            try:
+                pattern = TriplePattern(
+                    resource, Variable("__dp"), Variable("__do")
+                )
+            except TripleValidityError:
+                continue  # literal "resources" describe nothing
+            for row in self._evaluate_bgp([pattern]).collect():
+                graph.add(Triple(resource, row["__dp"], row["__do"]))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Algebra driver (data-parallel Spark operators)
+    # ------------------------------------------------------------------
+
+    def _evaluate_node(self, node: AlgebraNode) -> RDD:
+        if isinstance(node, BGP):
+            if not node.patterns:
+                return self.ctx.parallelize([{}], 1)
+            return self._evaluate_bgp(node.patterns)
+        if isinstance(node, AlgebraJoin):
+            left = self._evaluate_node(node.left)
+            right = self._evaluate_node(node.right)
+            shared = sorted(
+                node_variables(node.left) & node_variables(node.right)
+            )
+            return join_binding_rdds(left, right, shared)
+        if isinstance(node, LeftJoin):
+            left = self._evaluate_node(node.left)
+            right = self._evaluate_node(node.right)
+            shared = sorted(
+                node_variables(node.left) & node_variables(node.right)
+            )
+            return join_binding_rdds(left, right, shared, how="left")
+        if isinstance(node, AlgebraUnion):
+            result = self._evaluate_node(node.branches[0])
+            for branch in node.branches[1:]:
+                result = result.union(self._evaluate_node(branch))
+            return result
+        if isinstance(node, AlgebraFilter):
+            child = self._evaluate_node(node.child)
+            expression = node.expression
+            return child.filter(
+                lambda binding: passes_filter(expression, Solution(binding))
+            )
+        raise TypeError("unknown algebra node %r" % (node,))
+
+    def _evaluate_bgp(self, patterns: List[TriplePattern]) -> RDD:
+        """Engine-specific distributed BGP evaluation -> RDD of bindings."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "%s(loaded=%s)" % (type(self).__name__, self._loaded)
+
+
+# ----------------------------------------------------------------------
+# Shared pattern-matching helpers for RDD-based engines
+# ----------------------------------------------------------------------
+
+
+def triple_matches_pattern(
+    triple_tuple: Tuple[Term, Term, Term], pattern: TriplePattern
+) -> Optional[Binding]:
+    """Bindings for a single triple against a pattern, or None."""
+    binding: Binding = {}
+    for value, position in zip(triple_tuple, pattern.positions()):
+        if isinstance(position, Variable):
+            bound = binding.get(position.name)
+            if bound is not None and bound != value:
+                return None
+            binding[position.name] = value
+        elif position != value:
+            return None
+    return binding
+
+
+def fold_join_order(
+    patterns: Sequence[TriplePattern],
+) -> List[TriplePattern]:
+    """Reorder patterns so each (after the first) shares a variable with an
+    earlier one when possible, avoiding needless cartesian products."""
+    remaining = list(patterns)
+    ordered: List[TriplePattern] = [remaining.pop(0)]
+    bound: Set[str] = {v.name for v in ordered[0].variables()}
+    while remaining:
+        index = next(
+            (
+                i
+                for i, p in enumerate(remaining)
+                if bound & {v.name for v in p.variables()}
+            ),
+            0,
+        )
+        chosen = remaining.pop(index)
+        ordered.append(chosen)
+        bound |= {v.name for v in chosen.variables()}
+    return ordered

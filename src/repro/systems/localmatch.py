@@ -1,0 +1,90 @@
+"""Partition-local BGP matching over raw triple tuples.
+
+Several engines (HAQWA, SparkRDF) evaluate sub-queries *inside* one
+partition against whatever triples are locally present.  This helper runs
+a basic graph pattern over a list of ``(s, p, o)`` tuples in any value
+space (terms or dictionary-encoded integers), using a subject index for
+the common subject-bound case.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.sparql.ast import TriplePattern, Variable
+
+#: A pattern position: a Variable or a constant in the store's value space.
+LocalPosition = Union[Variable, Any]
+#: A local pattern: three positions.
+LocalPattern = Tuple[LocalPosition, LocalPosition, LocalPosition]
+
+
+def encode_pattern(
+    pattern: TriplePattern, encode_constant
+) -> LocalPattern:
+    """Map a TriplePattern into the store's value space.
+
+    *encode_constant* translates a bound RDF term; it may raise KeyError
+    for terms absent from the store's dictionary (no triple can match).
+    """
+    out = []
+    for position in pattern.positions():
+        if isinstance(position, Variable):
+            out.append(position)
+        else:
+            out.append(encode_constant(position))
+    return tuple(out)
+
+
+def match_bgp_local(
+    patterns: Sequence[LocalPattern],
+    triples: Sequence[Tuple[Any, Any, Any]],
+) -> List[Dict[str, Any]]:
+    """All bindings of *patterns* over *triples* (nested-index join)."""
+    if not patterns:
+        return [{}]
+    by_subject: Dict[Any, List[Tuple[Any, Any, Any]]] = {}
+    for triple in triples:
+        by_subject.setdefault(triple[0], []).append(triple)
+
+    bindings: List[Dict[str, Any]] = [{}]
+    for pattern in patterns:
+        subject, predicate, obj = pattern
+        next_bindings: List[Dict[str, Any]] = []
+        for binding in bindings:
+            s_val = (
+                binding.get(subject.name)
+                if isinstance(subject, Variable)
+                else subject
+            )
+            candidates = (
+                by_subject.get(s_val, ()) if s_val is not None else triples
+            )
+            for triple in candidates:
+                extended = _extend(binding, pattern, triple)
+                if extended is not None:
+                    next_bindings.append(extended)
+        bindings = next_bindings
+        if not bindings:
+            break
+    return bindings
+
+
+def _extend(
+    binding: Dict[str, Any],
+    pattern: LocalPattern,
+    triple: Tuple[Any, Any, Any],
+) -> Union[Dict[str, Any], None]:
+    out = None
+    for position, value in zip(pattern, triple):
+        if isinstance(position, Variable):
+            bound = (out or binding).get(position.name)
+            if bound is None:
+                if out is None:
+                    out = dict(binding)
+                out[position.name] = value
+            elif bound != value:
+                return None
+        elif position != value:
+            return None
+    return out if out is not None else dict(binding)

@@ -1,0 +1,126 @@
+"""A shape-aware meta-engine: the survey's conclusions, operationalized.
+
+Section III's "System Contribution" dimension observes that "some systems
+focus on a particular query type, e.g., star queries, and others target at
+handling multiple or all query types".  The cross-system assessment
+(benchmarks/bench_systems_comparison.py) quantifies exactly that, and this
+router turns it into a system: each incoming query is classified by shape
+(Section II-B) and dispatched to the engine the assessment found strongest
+for it, falling back along the chain when the query's SPARQL features are
+outside the preferred engine's fragment.
+
+Default routing (from the measured matrix):
+
+=========  =================================================
+star       HAQWA -- subject hashing answers stars locally
+linear     S2RDF -- ExtVP semi-joins prune chain hops hardest
+snowflake  Hybrid [21] -- partition-aware mixed joins
+complex    SparkRDF -- class indexes tame object-object joins
+single     SPARQLGX -- one vertical store scan
+=========  =================================================
+
+Engines are loaded lazily: a dataset is distributed into a store only
+when some query actually routes to that engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.spark.context import SparkContext
+from repro.sparql.ast import Query
+from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import QueryShape, classify_shape
+from repro.systems.base import SparkRdfEngine
+from repro.systems.haqwa import HaqwaEngine
+from repro.systems.hybrid import HybridEngine
+from repro.systems.naive import NaiveEngine
+from repro.systems.s2rdf import S2RdfEngine
+from repro.systems.sparkrdf import SparkRdfMesgEngine
+from repro.systems.sparqlgx import SparqlgxEngine
+
+#: The assessment-derived preference per shape.
+DEFAULT_ROUTING: Dict[QueryShape, Type[SparkRdfEngine]] = {
+    QueryShape.STAR: HaqwaEngine,
+    QueryShape.LINEAR: S2RdfEngine,
+    QueryShape.SNOWFLAKE: HybridEngine,
+    QueryShape.COMPLEX: SparkRdfMesgEngine,
+    QueryShape.SINGLE: SparqlgxEngine,
+    QueryShape.EMPTY: NaiveEngine,
+}
+
+#: Feature-coverage fallbacks, widest fragment last.
+DEFAULT_FALLBACKS: Sequence[Type[SparkRdfEngine]] = (
+    SparqlgxEngine,
+    NaiveEngine,
+)
+
+
+class ShapeAwareRouter:
+    """Dispatches queries to per-shape engines over one shared dataset."""
+
+    def __init__(
+        self,
+        parallelism: int = 4,
+        routing: Optional[Dict[QueryShape, Type[SparkRdfEngine]]] = None,
+        fallbacks: Sequence[Type[SparkRdfEngine]] = DEFAULT_FALLBACKS,
+        context_factory: Optional[Callable[[], SparkContext]] = None,
+    ) -> None:
+        self.routing = dict(DEFAULT_ROUTING)
+        if routing:
+            self.routing.update(routing)
+        self.fallbacks = list(fallbacks)
+        self._context_factory = context_factory or (
+            lambda: SparkContext(parallelism)
+        )
+        self._graph: Optional[RDFGraph] = None
+        self._engines: Dict[Type[SparkRdfEngine], SparkRdfEngine] = {}
+        #: The engine class chosen by the last :meth:`execute` call.
+        self.last_engine: Optional[Type[SparkRdfEngine]] = None
+
+    def load(self, graph: RDFGraph) -> "ShapeAwareRouter":
+        """Register the dataset; engines build their stores on demand."""
+        self._graph = graph
+        self._engines.clear()
+        return self
+
+    def _engine_for(self, engine_class: Type[SparkRdfEngine]) -> SparkRdfEngine:
+        engine = self._engines.get(engine_class)
+        if engine is None:
+            if self._graph is None:
+                raise RuntimeError("call load() before execute()")
+            engine = engine_class(self._context_factory())
+            engine.load(self._graph)
+            self._engines[engine_class] = engine
+        return engine
+
+    def choose(self, query: Union[str, Query]) -> Type[SparkRdfEngine]:
+        """The engine class this query routes to (without executing)."""
+        if isinstance(query, str):
+            query = parse_sparql(query)
+        shape = classify_shape(query)
+        candidates: List[Type[SparkRdfEngine]] = [self.routing[shape]]
+        candidates.extend(
+            cls for cls in self.fallbacks if cls not in candidates
+        )
+        for engine_class in candidates:
+            probe = engine_class.__new__(engine_class)  # profile check only
+            if SparkRdfEngine.supports(probe, query):
+                return engine_class
+        return NaiveEngine
+
+    def execute(self, query: Union[str, Query]):
+        """Classify, dispatch, execute."""
+        if isinstance(query, str):
+            query = parse_sparql(query)
+        engine_class = self.choose(query)
+        self.last_engine = engine_class
+        return self._engine_for(engine_class).execute(query)
+
+    def loaded_engines(self) -> List[str]:
+        """Names of engines whose stores have been built (lazy loading)."""
+        return sorted(cls.profile.name for cls in self._engines)
+
+    def __repr__(self) -> str:
+        return "ShapeAwareRouter(loaded=%r)" % self.loaded_engines()

@@ -1,0 +1,346 @@
+"""S2RDF [24]: extended vertical partitioning (ExtVP) over Spark SQL.
+
+Mechanics reproduced from Section IV-A2 of the paper:
+
+* *ExtVP* -- besides one vertical-partition (VP) table per predicate,
+  the loader pre-computes **semi-join reductions** between VP tables for
+  the three correlations SPARQL joins exhibit: subject-subject (SS),
+  object-subject (OS) and subject-object (SO).  At query time a triple
+  pattern reads the smallest reduction applicable to its joins instead of
+  the full VP table, which is where the paper's "10,000 comparisons vs 10"
+  example comes from.
+* *Selectivity factor* -- each ExtVP table's size relative to its VP table
+  is its SF; tables with SF above the threshold are not kept (they would
+  save little and cost storage).
+* *Query compilation* -- SPARQL is parsed to an algebra tree (Jena ARQ in
+  the original; :mod:`repro.sparql` here) and traversed to emit a Spark
+  SQL query; sub-queries are ordered by bound-variable count, then table
+  size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dimensions import (
+    Contribution,
+    DataModel,
+    Optimization,
+    PartitioningStrategy,
+    QueryProcessing,
+    SparkAbstraction,
+)
+from repro.rdf.encoding import Dictionary
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import Term
+from repro.spark.context import SparkContext
+from repro.spark.rdd import RDD
+from repro.spark.sql.session import SparkSession
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.fragments import (
+    FEATURE_BGP,
+    FEATURE_DISTINCT,
+    FEATURE_FILTER,
+    FEATURE_LIMIT,
+    FEATURE_OFFSET,
+    FEATURE_ORDER_BY,
+    FEATURE_UNION,
+)
+from repro.systems.base import EngineProfile, SparkRdfEngine
+
+#: ExtVP correlation kinds: how pattern 1's table is restricted by pattern 2.
+_EXTVP_KINDS = ("ss", "os", "so")
+
+
+class S2RdfEngine(SparkRdfEngine):
+    """ExtVP storage with SPARQL-to-Spark-SQL compilation."""
+
+    profile = EngineProfile(
+        name="S2RDF",
+        citation="[24]",
+        data_model=DataModel.TRIPLE,
+        abstractions=(SparkAbstraction.SPARK_SQL,),
+        query_processing=QueryProcessing.SPARK_SQL,
+        optimization=Optimization.YES,
+        partitioning=PartitioningStrategy.EXTENDED_VERTICAL,
+        sparql_features=frozenset(
+            {
+                FEATURE_BGP,
+                FEATURE_FILTER,
+                FEATURE_UNION,
+                FEATURE_OFFSET,
+                FEATURE_LIMIT,
+                FEATURE_ORDER_BY,
+                FEATURE_DISTINCT,
+            }
+        ),
+        contribution=Contribution.ALL_QUERY_TYPES,
+        description=(
+            "Semi-join-reduced vertical partitions (ExtVP) queried through "
+            "generated Spark SQL."
+        ),
+    )
+
+    def __init__(
+        self,
+        ctx: Optional[SparkContext] = None,
+        sf_threshold: float = 0.95,
+        build_extvp: bool = True,
+    ) -> None:
+        super().__init__(ctx)
+        if not 0.0 < sf_threshold <= 1.0:
+            raise ValueError("sf_threshold must be in (0, 1]")
+        self.sf_threshold = sf_threshold
+        self.build_extvp = build_extvp
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def _build(self, graph: RDFGraph) -> None:
+        self.session = SparkSession(self.ctx)
+        self.dictionary = Dictionary()
+        self.table_sizes: Dict[str, int] = {}
+        #: predicate id -> VP table name
+        self._vp_names: Dict[int, str] = {}
+        #: (kind, p1 id, p2 id) -> ExtVP table name (only kept tables)
+        self._extvp_names: Dict[Tuple[str, int, int], str] = {}
+        #: (kind, p1, p2) -> selectivity factor, for all computed pairs
+        self.selectivity_factors: Dict[Tuple[str, int, int], float] = {}
+
+        encoded = [self.dictionary.encode(t).as_tuple() for t in sorted(graph)]
+
+        all_df = self.session.createDataFrame(encoded, ["s", "p", "o"])
+        self.session.createOrReplaceTempView("alltriples", all_df.cache())
+        self.table_sizes["alltriples"] = len(encoded)
+
+        by_predicate: Dict[int, List[Tuple[int, int]]] = {}
+        for s, p, o in encoded:
+            by_predicate.setdefault(p, []).append((s, o))
+        for predicate_id, pairs in sorted(by_predicate.items()):
+            name = "vp_%d" % predicate_id
+            df = self.session.createDataFrame(pairs, ["s", "o"])
+            self.session.createOrReplaceTempView(name, df.cache())
+            self._vp_names[predicate_id] = name
+            self.table_sizes[name] = len(pairs)
+
+        if self.build_extvp:
+            self._build_extvp(by_predicate)
+
+    def _build_extvp(
+        self, by_predicate: Dict[int, List[Tuple[int, int]]]
+    ) -> None:
+        """Pre-compute the SS/OS/SO semi-join reductions (via Spark SQL)."""
+        join_columns = {"ss": ("s", "s"), "os": ("o", "s"), "so": ("s", "o")}
+        predicates = sorted(by_predicate)
+        for p1 in predicates:
+            vp1 = self._vp_names[p1]
+            for p2 in predicates:
+                for kind in _EXTVP_KINDS:
+                    if p1 == p2 and kind == "ss":
+                        continue  # SF is 1 by construction, never kept.
+                    left_col, right_col = join_columns[kind]
+                    vp2 = self._vp_names[p2]
+                    sql = (
+                        "SELECT a.s AS s, a.o AS o FROM %s AS a "
+                        "LEFT SEMI JOIN %s AS b ON a.%s = b.%s"
+                        % (vp1, vp2, left_col, right_col)
+                    )
+                    reduced = self.session.sql(sql).cache()
+                    size = reduced.count()
+                    base = self.table_sizes[vp1]
+                    sf = size / base if base else 1.0
+                    self.selectivity_factors[(kind, p1, p2)] = sf
+                    if 0 < size and sf < self.sf_threshold:
+                        name = "extvp_%s_%d_%d" % (kind, p1, p2)
+                        self.session.createOrReplaceTempView(name, reduced)
+                        self._extvp_names[(kind, p1, p2)] = name
+                        self.table_sizes[name] = size
+
+    def extvp_table_count(self) -> int:
+        """How many ExtVP tables the SF threshold kept."""
+        return len(self._extvp_names)
+
+    def storage_rows(self, include_extvp: bool = True) -> int:
+        """Total stored rows (VP tables, optionally plus ExtVP tables)."""
+        total = sum(
+            size
+            for name, size in self.table_sizes.items()
+            if name.startswith("vp_")
+        )
+        if include_extvp:
+            total += sum(
+                size
+                for name, size in self.table_sizes.items()
+                if name.startswith("extvp_")
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Query compilation
+    # ------------------------------------------------------------------
+
+    def _encode(self, term: Term) -> Optional[int]:
+        if term not in self.dictionary:
+            return None
+        return self.dictionary.lookup_term(term)
+
+    def _choose_table(
+        self,
+        index: int,
+        patterns: Sequence[TriplePattern],
+    ) -> Optional[str]:
+        """Smallest applicable table for pattern *index* (VP or ExtVP)."""
+        pattern = patterns[index]
+        if isinstance(pattern.predicate, Variable):
+            return "alltriples"
+        p1 = self._encode(pattern.predicate)
+        if p1 is None or p1 not in self._vp_names:
+            return None  # predicate never occurs: empty result
+        best = self._vp_names[p1]
+        best_size = self.table_sizes[best]
+        for j, other in enumerate(patterns):
+            if j == index or isinstance(other.predicate, Variable):
+                continue
+            p2 = self._encode(other.predicate)
+            if p2 is None:
+                continue
+            for kind, mine, theirs in (
+                ("ss", pattern.subject, other.subject),
+                ("os", pattern.object, other.subject),
+                ("so", pattern.subject, other.object),
+            ):
+                if (
+                    isinstance(mine, Variable)
+                    and isinstance(theirs, Variable)
+                    and mine == theirs
+                ):
+                    name = self._extvp_names.get((kind, p1, p2))
+                    if name is not None and self.table_sizes[name] < best_size:
+                        best = name
+                        best_size = self.table_sizes[name]
+        return best
+
+    def _order_patterns(
+        self, patterns: List[TriplePattern]
+    ) -> List[int]:
+        """Pattern order: most bound variables first, then smallest table."""
+
+        def sort_key(index: int):
+            pattern = patterns[index]
+            table = self._choose_table(index, patterns)
+            size = self.table_sizes.get(table, 0) if table else 0
+            return (-pattern.bound_count(), size)
+
+        order = sorted(range(len(patterns)), key=sort_key)
+        # Keep joins connected where possible.
+        ordered: List[int] = [order.pop(0)]
+        bound = {v.name for v in patterns[ordered[0]].variables()}
+        while order:
+            position = next(
+                (
+                    pos
+                    for pos, i in enumerate(order)
+                    if bound & {v.name for v in patterns[i].variables()}
+                ),
+                0,
+            )
+            chosen = order.pop(position)
+            ordered.append(chosen)
+            bound |= {v.name for v in patterns[chosen].variables()}
+        return ordered
+
+    def compile_sql(
+        self, patterns: List[TriplePattern]
+    ) -> Optional[Tuple[str, List[str]]]:
+        """The generated Spark SQL text plus the projected variable names.
+
+        Returns None when some constant in the query cannot match any data
+        (guaranteed-empty result).
+        """
+        order = self._order_patterns(list(patterns))
+        aliases = {index: "t%d" % k for k, index in enumerate(order)}
+        variables: List[str] = []
+        var_source: Dict[str, str] = {}
+        from_parts: List[str] = []
+        where_parts: List[str] = []
+
+        for k, index in enumerate(order):
+            pattern = patterns[index]
+            table = self._choose_table(index, patterns)
+            if table is None:
+                return None
+            alias = aliases[index]
+            columns = (
+                {"subject": "s", "predicate": "p", "object": "o"}
+                if table == "alltriples"
+                else {"subject": "s", "object": "o"}
+            )
+            join_conditions: List[str] = []
+            for position, column in columns.items():
+                value = getattr(pattern, position)
+                qualified = "%s.%s" % (alias, column)
+                if isinstance(value, Variable):
+                    if value.name in var_source:
+                        join_conditions.append(
+                            "%s = %s" % (qualified, var_source[value.name])
+                        )
+                    else:
+                        var_source[value.name] = qualified
+                        variables.append(value.name)
+                else:
+                    encoded = self._encode(value)
+                    if encoded is None:
+                        return None
+                    where_parts.append("%s = %d" % (qualified, encoded))
+            if table != "alltriples" and not isinstance(
+                pattern.predicate, Variable
+            ):
+                pass  # predicate constraint is implicit in the VP table
+            if k == 0:
+                from_parts.append("%s AS %s" % (table, alias))
+            elif join_conditions:
+                from_parts.append(
+                    "JOIN %s AS %s ON %s"
+                    % (table, alias, " AND ".join(join_conditions))
+                )
+            else:
+                from_parts.append("CROSS JOIN %s AS %s" % (table, alias))
+            # Equalities discovered later (same variable in this pattern
+            # joining an earlier one) go to WHERE via join_conditions above;
+            # duplicates within one pattern (?x p ?x) need an extra check.
+            if join_conditions and k == 0:
+                where_parts.extend(join_conditions)
+
+        select_list = ", ".join(
+            "%s AS %s" % (var_source[name], name) for name in variables
+        )
+        if not variables:
+            select_list = "%s.%s AS one" % (aliases[order[0]], "s")
+        sql = "SELECT %s FROM %s" % (select_list, " ".join(from_parts))
+        if where_parts:
+            sql += " WHERE %s" % " AND ".join(where_parts)
+        return sql, variables
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _evaluate_bgp(self, patterns: List[TriplePattern]) -> RDD:
+        compiled = self.compile_sql(list(patterns))
+        if compiled is None:
+            return self.ctx.emptyRDD()
+        sql, variables = compiled
+        self.last_sql = sql
+        result = self.session.sql(sql)
+        dictionary = self.dictionary
+        names = list(result.columns)
+
+        def decode(values: tuple) -> dict:
+            return {
+                name: dictionary.decode_id(value)
+                for name, value in zip(names, values)
+                if name in variables
+            }
+
+        return result.rdd.map(decode)

@@ -1,0 +1,331 @@
+"""Spar(k)ql [12]: SPARQL evaluation with vertex programs on GraphX.
+
+Mechanics reproduced from Section IV-B1 of the paper:
+
+* *Node model* -- object properties become graph **edges**; data
+  properties (literal-valued) are stored **inside the nodes** as node
+  properties.  ``rdf:type``, although an object property, is stored in
+  the node properties too, "due to its popularity in SPARQL queries".
+* *Sub-results in nodes* -- query answering keeps per-node tables keyed by
+  query variables whose values are possible sub-results; nodes combine
+  incoming messages with their stored information.
+* *Query plan* -- a breadth-first search over the query's object
+  properties builds a tree; execution traverses the plan bottom-up,
+  iterating over the edges of each node to find matches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.dimensions import (
+    Contribution,
+    DataModel,
+    Optimization,
+    PartitioningStrategy,
+    QueryProcessing,
+    SparkAbstraction,
+)
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.vocab import RDF
+from repro.spark.graphx import Edge, Graph
+from repro.spark.rdd import RDD
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.fragments import FEATURE_BGP
+from repro.systems.base import (
+    EngineProfile,
+    SparkRdfEngine,
+    join_binding_rdds,
+    triple_matches_pattern,
+)
+
+
+class SparkqlEngine(SparkRdfEngine):
+    """Node-property graph with a BFS query plan over object properties."""
+
+    profile = EngineProfile(
+        name="Spar(k)ql",
+        citation="[12]",
+        data_model=DataModel.GRAPH,
+        abstractions=(SparkAbstraction.GRAPHX,),
+        query_processing=QueryProcessing.GRAPH_ITERATIONS,
+        optimization=Optimization.YES,
+        partitioning=PartitioningStrategy.DEFAULT,
+        sparql_features=frozenset({FEATURE_BGP}),
+        contribution=Contribution.GRAPH_MATCHING,
+        description=(
+            "Data properties and rdf:type stored in nodes; BFS plan over "
+            "object properties evaluated bottom-up with sub-result tables."
+        ),
+    )
+
+    def _build(self, graph: RDFGraph) -> None:
+        # Split object properties (edges) from data properties (node attrs).
+        node_attrs: Dict[Term, Dict] = {}
+
+        def attrs_of(term: Term) -> Dict:
+            return node_attrs.setdefault(term, {"props": {}, "types": set()})
+
+        edge_tuples: List[Tuple[Term, Term, Term]] = []
+        for triple in sorted(graph):
+            attrs_of(triple.subject)
+            if triple.predicate == RDF.type:
+                attrs_of(triple.subject)["types"].add(triple.object)
+            elif isinstance(triple.object, Literal):
+                attrs_of(triple.subject)["props"].setdefault(
+                    triple.predicate, []
+                ).append(triple.object)
+            else:
+                attrs_of(triple.object)
+                edge_tuples.append(
+                    (triple.subject, triple.object, triple.predicate)
+                )
+
+        vertex_rdd = self.ctx.parallelize(sorted(node_attrs.items(), key=lambda kv: kv[0].sort_key()))
+        edge_rdd = self.ctx.parallelize(
+            [Edge(s, d, p) for s, d, p in edge_tuples]
+        )
+        self.graph = Graph(vertex_rdd, edge_rdd)
+        self.object_properties: Set[Term] = {p for _s, _d, p in edge_tuples}
+        self.data_properties: Set[Term] = {
+            t.predicate
+            for t in graph
+            if isinstance(t.object, Literal)
+        }
+        # Full triple view, for variable-predicate fallbacks.
+        self._all_triples = self.ctx.parallelize(
+            [t.as_tuple() for t in sorted(graph)]
+        ).cache()
+
+    # ------------------------------------------------------------------
+    # Pattern classification
+    # ------------------------------------------------------------------
+
+    def _classify(
+        self, patterns: List[TriplePattern]
+    ) -> Tuple[Dict[str, List[TriplePattern]], List[TriplePattern], List[TriplePattern]]:
+        """(node-local patterns per subject var, edge patterns, fallbacks).
+
+        Node-local: rdf:type with a constant class, and data properties.
+        Edge: constant object-property predicates.  Fallback: variable
+        predicates or anything not expressible in the node model.
+        """
+        local: Dict[str, List[TriplePattern]] = {}
+        edges: List[TriplePattern] = []
+        fallback: List[TriplePattern] = []
+        for pattern in patterns:
+            predicate = pattern.predicate
+            if isinstance(predicate, Variable) or not isinstance(
+                pattern.subject, Variable
+            ):
+                fallback.append(pattern)
+            elif (
+                predicate in self.object_properties
+                and predicate in self.data_properties
+            ):
+                # Mixed predicate: lives both as edges and node properties;
+                # the node model cannot answer it alone.
+                fallback.append(pattern)
+            elif predicate == RDF.type and not isinstance(
+                pattern.object, Variable
+            ):
+                local.setdefault(pattern.subject.name, []).append(pattern)
+            elif (
+                predicate != RDF.type
+                and predicate not in self.object_properties
+            ):
+                # A data property (or a predicate absent from the data).
+                local.setdefault(pattern.subject.name, []).append(pattern)
+            elif predicate == RDF.type:
+                fallback.append(pattern)  # ?s rdf:type ?t
+            else:
+                edges.append(pattern)
+        return local, edges, fallback
+
+    # ------------------------------------------------------------------
+    # Node tables (the per-node sub-result tables)
+    # ------------------------------------------------------------------
+
+    def _node_table(
+        self, var: str, constraints: List[TriplePattern]
+    ) -> RDD:
+        """Candidate rows for one entity variable from node properties."""
+
+        def rows(part) -> List[dict]:
+            out = []
+            for vertex, attrs in part:
+                bindings = [{var: vertex}]
+                for pattern in constraints:
+                    next_bindings: List[dict] = []
+                    if pattern.predicate == RDF.type:
+                        if pattern.object in attrs["types"]:
+                            next_bindings = bindings
+                    else:
+                        values = attrs["props"].get(pattern.predicate, [])
+                        for binding in bindings:
+                            for value in values:
+                                if isinstance(pattern.object, Variable):
+                                    name = pattern.object.name
+                                    if (
+                                        name in binding
+                                        and binding[name] != value
+                                    ):
+                                        continue
+                                    extended = dict(binding)
+                                    extended[name] = value
+                                    next_bindings.append(extended)
+                                elif pattern.object == value:
+                                    next_bindings.append(binding)
+                    bindings = next_bindings
+                    if not bindings:
+                        break
+                out.extend(bindings)
+            return out
+
+        return self.graph.vertices.mapPartitions(rows)
+
+    def _edge_bindings(self, pattern: TriplePattern) -> RDD:
+        """Bindings contributed by one object-property pattern."""
+
+        def match(part) -> List[dict]:
+            out = []
+            for edge in part:
+                if edge.attr != pattern.predicate:
+                    continue
+                binding: Dict[str, Term] = {}
+                ok = True
+                for position, value in (
+                    (pattern.subject, edge.src),
+                    (pattern.object, edge.dst),
+                ):
+                    if isinstance(position, Variable):
+                        bound = binding.get(position.name)
+                        if bound is None:
+                            binding[position.name] = value
+                        elif bound != value:
+                            ok = False
+                            break
+                    elif position != value:
+                        ok = False
+                        break
+                if ok:
+                    out.append(binding)
+            return out
+
+        return self.graph.edges.mapPartitions(match)
+
+    def _fallback_bindings(self, pattern: TriplePattern) -> RDD:
+        def match(part) -> List[dict]:
+            out = []
+            for triple in part:
+                binding = triple_matches_pattern(triple, pattern)
+                if binding is not None:
+                    out.append(binding)
+            return out
+
+        return self._all_triples.mapPartitions(match)
+
+    # ------------------------------------------------------------------
+    # BFS plan
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bfs_order(
+        edges: List[TriplePattern],
+    ) -> List[TriplePattern]:
+        """Order edge patterns by BFS over the variable connection graph."""
+        if not edges:
+            return []
+        adjacency: Dict[str, List[int]] = {}
+        for index, pattern in enumerate(edges):
+            for position in (pattern.subject, pattern.object):
+                if isinstance(position, Variable):
+                    adjacency.setdefault(position.name, []).append(index)
+        # Root: the variable touching the most edge patterns.
+        root = max(adjacency, key=lambda name: (len(adjacency[name]), name))
+        visited_edges: Set[int] = set()
+        order: List[TriplePattern] = []
+        queue = deque([root])
+        seen_vars = {root}
+        while queue:
+            var = queue.popleft()
+            for index in adjacency.get(var, []):
+                if index in visited_edges:
+                    continue
+                visited_edges.add(index)
+                order.append(edges[index])
+                for position in (edges[index].subject, edges[index].object):
+                    if (
+                        isinstance(position, Variable)
+                        and position.name not in seen_vars
+                    ):
+                        seen_vars.add(position.name)
+                        queue.append(position.name)
+        # Disconnected leftovers keep their input order.
+        for index, pattern in enumerate(edges):
+            if index not in visited_edges:
+                order.append(pattern)
+        return order
+
+    # ------------------------------------------------------------------
+
+    def _evaluate_bgp(self, patterns: List[TriplePattern]) -> RDD:
+        local, edges, fallback = self._classify(list(patterns))
+        plan = self._bfs_order(edges)
+
+        result: Optional[RDD] = None
+        bound: Set[str] = set()
+        attached_tables: Set[str] = set()
+
+        def attach_table(var: str, current: Optional[RDD], bound_vars: Set[str]):
+            constraints = local.pop(var, None)
+            if constraints is None:
+                return current, bound_vars
+            table = self._node_table(var, constraints)
+            table_vars = {var} | {
+                p.object.name
+                for p in constraints
+                if isinstance(p.object, Variable)
+            }
+            if current is None:
+                return table, table_vars
+            shared = sorted(bound_vars & table_vars)
+            return (
+                join_binding_rdds(current, table, shared),
+                bound_vars | table_vars,
+            )
+
+        for pattern in plan:
+            bindings = self._edge_bindings(pattern)
+            pattern_vars = {v.name for v in pattern.variables()}
+            if result is None:
+                result = bindings
+                bound = pattern_vars
+            else:
+                shared = sorted(bound & pattern_vars)
+                result = join_binding_rdds(result, bindings, shared)
+                bound |= pattern_vars
+            for position in (pattern.subject, pattern.object):
+                if isinstance(position, Variable):
+                    result, bound = attach_table(position.name, result, bound)
+
+        # Entity variables with only node-local constraints.
+        for var in sorted(local):
+            result, bound = attach_table(var, result, bound)
+
+        for pattern in fallback:
+            bindings = self._fallback_bindings(pattern)
+            pattern_vars = {v.name for v in pattern.variables()}
+            if result is None:
+                result = bindings
+                bound = pattern_vars
+            else:
+                shared = sorted(bound & pattern_vars)
+                result = join_binding_rdds(result, bindings, shared)
+                bound |= pattern_vars
+
+        if result is None:
+            return self.ctx.parallelize([{}], 1)
+        return result

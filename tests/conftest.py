@@ -1,0 +1,40 @@
+"""Shared fixtures: contexts, sessions, and generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.lubm import LubmGenerator
+from repro.data.watdiv import WatdivGenerator
+from repro.spark.context import SparkContext
+from repro.spark.sql.session import SparkSession
+
+
+@pytest.fixture
+def sc() -> SparkContext:
+    """A fresh 4-partition context per test."""
+    return SparkContext(default_parallelism=4)
+
+
+@pytest.fixture
+def session(sc: SparkContext) -> SparkSession:
+    return SparkSession(sc)
+
+
+@pytest.fixture(scope="session")
+def lubm_graph():
+    """A small LUBM-like instance graph (shared; treat as read-only)."""
+    return LubmGenerator(num_universities=1, seed=42).generate()
+
+
+@pytest.fixture(scope="session")
+def lubm_graph_with_tbox():
+    return LubmGenerator(num_universities=1, seed=42).generate(
+        include_tbox=True
+    )
+
+
+@pytest.fixture(scope="session")
+def watdiv_graph():
+    """A small WatDiv-like instance graph (shared; treat as read-only)."""
+    return WatdivGenerator(num_users=30, num_products=15, seed=7).generate()

@@ -1,0 +1,41 @@
+"""Tests for the library-level claims assessment."""
+
+import pytest
+
+from repro.core import build_default_assessment
+
+
+@pytest.fixture(scope="module")
+def results():
+    return build_default_assessment().run()
+
+
+def test_nine_claims_registered():
+    assessment = build_default_assessment()
+    assert len(assessment.claims()) == 9
+
+
+def test_every_claim_holds(results):
+    failing = [r.claim_id for r in results if not r.holds]
+    assert not failing, "claims failed: %r" % failing
+
+
+def test_every_claim_carries_evidence(results):
+    assert all(r.evidence for r in results)
+
+
+def test_claims_quote_the_paper():
+    assessment = build_default_assessment()
+    quotations = [c.quotation for c in assessment.claims()]
+    assert any("star-shaped queries" in q for q in quotations)
+    assert any("10 comparisons" in q for q in quotations)
+    assert all(c.section for c in assessment.claims())
+
+
+def test_cli_claims_command(capsys):
+    from repro.cli import main
+
+    assert main(["claims"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("HOLDS") >= 9
+    assert "DOES NOT HOLD" not in out

@@ -1,0 +1,106 @@
+"""Tests for the LUBM-like and WatDiv-like generators."""
+
+import pytest
+
+from repro.data.lubm import LUBM, LubmGenerator
+from repro.data.watdiv import WATDIV, WatdivGenerator
+from repro.rdf.rdfs import RDFSReasoner
+from repro.rdf.vocab import RDF
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import QueryShape, classify_shape
+
+
+class TestLubmGenerator:
+    def test_deterministic(self):
+        a = LubmGenerator(num_universities=1, seed=1).generate()
+        b = LubmGenerator(num_universities=1, seed=1).generate()
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = LubmGenerator(num_universities=1, seed=1).generate()
+        b = LubmGenerator(num_universities=1, seed=2).generate()
+        assert a != b
+
+    def test_scales_with_universities(self):
+        small = LubmGenerator(num_universities=1).generate()
+        large = LubmGenerator(num_universities=3).generate()
+        assert len(large) > 2 * len(small)
+
+    def test_schema_structure(self, lubm_graph):
+        assert lubm_graph.instances_of(LUBM.University)
+        assert lubm_graph.instances_of(LUBM.Department)
+        assert lubm_graph.instances_of(LUBM.Course)
+        students = lubm_graph.instances_of(
+            LUBM.GraduateStudent
+        ) | lubm_graph.instances_of(LUBM.UndergraduateStudent)
+        assert len(students) == 36  # 3 departments x 12
+
+    def test_every_department_belongs_to_university(self, lubm_graph):
+        for dept in lubm_graph.instances_of(LUBM.Department):
+            parents = list(
+                lubm_graph.triples((dept, LUBM.subOrganizationOf, None))
+            )
+            assert len(parents) == 1
+
+    def test_advisors_are_professors(self, lubm_graph):
+        professor_classes = {
+            LUBM.FullProfessor,
+            LUBM.AssociateProfessor,
+            LUBM.AssistantProfessor,
+        }
+        for triple in lubm_graph.triples((None, LUBM.advisor, None)):
+            assert lubm_graph.types_of(triple.object) & professor_classes
+
+    def test_tbox_supports_inference(self):
+        graph = LubmGenerator(num_universities=1).generate(include_tbox=True)
+        closure = RDFSReasoner().materialize(graph)
+        assert len(closure) > len(graph)
+
+    def test_canonical_queries_parse_match_shape_and_answer(self, lubm_graph):
+        expected_shapes = {
+            "star": QueryShape.STAR,
+            "linear": QueryShape.LINEAR,
+            "snowflake": QueryShape.SNOWFLAKE,
+            "complex": QueryShape.COMPLEX,
+        }
+        for name, text in LubmGenerator.all_queries().items():
+            query = parse_sparql(text)
+            if name in expected_shapes:
+                assert classify_shape(query) is expected_shapes[name], name
+            assert len(evaluate(query, lubm_graph)) > 0, name
+
+
+class TestWatdivGenerator:
+    def test_deterministic(self):
+        a = WatdivGenerator(seed=3).generate()
+        b = WatdivGenerator(seed=3).generate()
+        assert a == b
+
+    def test_entity_counts(self, watdiv_graph):
+        assert len(watdiv_graph.instances_of(WATDIV.User)) == 30
+        assert len(watdiv_graph.instances_of(WATDIV.Product)) == 15
+        assert watdiv_graph.instances_of(WATDIV.Review)
+
+    def test_reviews_connect_users_and_products(self, watdiv_graph):
+        for review in watdiv_graph.instances_of(WATDIV.Review):
+            reviewers = list(
+                watdiv_graph.triples((review, WATDIV.reviewer, None))
+            )
+            targets = list(
+                watdiv_graph.triples((review, WATDIV.reviewFor, None))
+            )
+            assert len(reviewers) == 1 and len(targets) == 1
+
+    def test_product_popularity_skewed(self, watdiv_graph):
+        counts = {}
+        for triple in watdiv_graph.triples((None, WATDIV.purchased, None)):
+            counts[triple.object] = counts.get(triple.object, 0) + 1
+        most = max(counts.values())
+        least = min(counts.values())
+        assert most > least  # head product strictly more popular
+
+    def test_canonical_queries(self, watdiv_graph):
+        for name, text in WatdivGenerator.all_queries().items():
+            query = parse_sparql(text)
+            assert len(evaluate(query, watdiv_graph)) > 0, name

@@ -1,0 +1,101 @@
+"""Tests for the SP2Bench-like bibliographic generator."""
+
+import pytest
+
+from repro.data.sp2bench import SP2B, Sp2bGenerator
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import QueryShape, classify_shape
+from repro.spark.context import SparkContext
+from repro.systems import S2RdfEngine, S2XEngine, SparqlgxEngine
+
+
+@pytest.fixture(scope="module")
+def sp2b_graph():
+    return Sp2bGenerator(seed=11).generate()
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert Sp2bGenerator(seed=4).generate() == Sp2bGenerator(
+            seed=4
+        ).generate()
+
+    def test_entity_counts(self, sp2b_graph):
+        assert len(sp2b_graph.instances_of(SP2B.Article)) == 40
+        assert len(sp2b_graph.instances_of(SP2B.Person)) == 25
+        assert len(sp2b_graph.instances_of(SP2B.Journal)) == 6
+
+    def test_citations_acyclic(self, sp2b_graph):
+        # Citations point strictly backwards by construction: no article
+        # reaches itself through cites edges.
+        edges = {}
+        for triple in sp2b_graph.triples((None, SP2B.cites, None)):
+            edges.setdefault(triple.subject, []).append(triple.object)
+
+        def reaches(start, target, seen):
+            for nxt in edges.get(start, []):
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    if reaches(nxt, target, seen):
+                        return True
+            return False
+
+        for article in list(edges)[:10]:
+            assert not reaches(article, article, set())
+
+    def test_every_article_has_journal_and_authors(self, sp2b_graph):
+        for article in sp2b_graph.instances_of(SP2B.Article):
+            assert list(sp2b_graph.triples((article, SP2B.journal, None)))
+            assert list(sp2b_graph.triples((article, SP2B.creator, None)))
+
+
+class TestCanonicalQueries:
+    def test_shapes(self):
+        assert (
+            classify_shape(parse_sparql(Sp2bGenerator.query_article_star()))
+            is QueryShape.STAR
+        )
+        assert (
+            classify_shape(
+                parse_sparql(Sp2bGenerator.query_citation_chain())
+            )
+            is QueryShape.LINEAR
+        )
+        assert (
+            classify_shape(
+                parse_sparql(Sp2bGenerator.query_journal_snowflake())
+            )
+            is QueryShape.SNOWFLAKE
+        )
+
+    @pytest.mark.parametrize("name", sorted(Sp2bGenerator.all_queries()))
+    def test_queries_have_answers(self, sp2b_graph, name):
+        query = parse_sparql(Sp2bGenerator.all_queries()[name])
+        assert len(evaluate(query, sp2b_graph)) > 0
+
+    def test_coauthors_symmetric(self, sp2b_graph):
+        result = evaluate(
+            parse_sparql(Sp2bGenerator.query_coauthors()), sp2b_graph
+        )
+        pairs = {
+            (s.get("x"), s.get("y")) for s in result
+        }
+        assert all((y, x) in pairs for x, y in pairs)
+
+
+class TestEnginesOnSp2b:
+    @pytest.mark.parametrize(
+        "engine_class", [SparqlgxEngine, S2RdfEngine, S2XEngine],
+        ids=lambda c: c.profile.name,
+    )
+    @pytest.mark.parametrize("name", sorted(Sp2bGenerator.all_queries()))
+    def test_cross_validation(self, sp2b_graph, engine_class, name):
+        query = parse_sparql(Sp2bGenerator.all_queries()[name])
+        engine = engine_class(SparkContext(4))
+        if not engine.supports(query):
+            pytest.skip("outside fragment")
+        engine.load(sp2b_graph)
+        assert engine.execute(query).same_as(evaluate(query, sp2b_graph))

@@ -1,0 +1,86 @@
+"""Tests for the random query workload generator."""
+
+import pytest
+
+from repro.data.workload import (
+    QueryWorkload,
+    generate_query,
+    generate_workload,
+)
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import QueryShape, classify_shape
+
+SHAPES = [
+    QueryShape.SINGLE,
+    QueryShape.STAR,
+    QueryShape.LINEAR,
+    QueryShape.SNOWFLAKE,
+    QueryShape.COMPLEX,
+]
+
+
+class TestGenerateQuery:
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s.value)
+    def test_shape_matches_request(self, watdiv_graph, shape):
+        query = generate_query(watdiv_graph, shape, seed=11)
+        if shape is not QueryShape.SINGLE:
+            assert classify_shape(query) is shape
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: s.value)
+    def test_generated_queries_have_answers(self, watdiv_graph, shape):
+        query = generate_query(watdiv_graph, shape, seed=5)
+        assert len(evaluate(query, watdiv_graph)) > 0
+
+    def test_deterministic_for_seed(self, watdiv_graph):
+        a = generate_query(watdiv_graph, QueryShape.STAR, seed=9)
+        b = generate_query(watdiv_graph, QueryShape.STAR, seed=9)
+        assert repr(a.where.triple_patterns()) == repr(
+            b.where.triple_patterns()
+        )
+
+    def test_seeds_vary_queries(self, watdiv_graph):
+        variants = {
+            repr(
+                generate_query(
+                    watdiv_graph, QueryShape.STAR, seed=s
+                ).where.triple_patterns()
+            )
+            for s in range(8)
+        }
+        assert len(variants) > 1
+
+    def test_empty_shape_rejected(self, watdiv_graph):
+        with pytest.raises(ValueError):
+            generate_query(watdiv_graph, QueryShape.EMPTY)
+
+
+class TestWorkload:
+    def test_generate_workload_counts(self, watdiv_graph):
+        workload = generate_workload(
+            watdiv_graph,
+            {QueryShape.STAR: 3, QueryShape.LINEAR: 2},
+            seed=1,
+        )
+        assert len(workload) == 5
+
+    def test_frequencies_decay(self, watdiv_graph):
+        workload = generate_workload(
+            watdiv_graph, {QueryShape.STAR: 4}, seed=1
+        )
+        freqs = [w.frequency for w in workload]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_most_frequent(self, watdiv_graph):
+        workload = QueryWorkload()
+        q = generate_query(watdiv_graph, QueryShape.STAR, seed=1)
+        workload.add("rare", q, 0.1)
+        workload.add("hot", q, 5.0)
+        assert workload.most_frequent(1)[0].name == "hot"
+
+    def test_total_frequency(self, watdiv_graph):
+        workload = QueryWorkload()
+        q = generate_query(watdiv_graph, QueryShape.STAR, seed=1)
+        workload.add("a", q, 1.5)
+        workload.add("b", q, 2.5)
+        assert workload.total_frequency() == 4.0

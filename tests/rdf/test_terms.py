@@ -1,0 +1,102 @@
+"""Tests for RDF terms: URIs, literals, blank nodes, ordering."""
+
+import pytest
+
+from repro.rdf.terms import BNode, Literal, URI
+from repro.rdf.vocab import XSD
+
+
+class TestURI:
+    def test_n3(self):
+        assert URI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_equality_and_hash(self):
+        assert URI("http://x/a") == URI("http://x/a")
+        assert URI("http://x/a") != URI("http://x/b")
+        assert len({URI("http://x/a"), URI("http://x/a")}) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            URI("")
+
+    def test_immutable(self):
+        uri = URI("http://x/a")
+        with pytest.raises(AttributeError):
+            uri.value = "other"
+
+    def test_local_name(self):
+        assert URI("http://x/path#frag").local_name() == "frag"
+        assert URI("http://x/path/leaf").local_name() == "leaf"
+        assert URI("plain").local_name() == "plain"
+
+
+class TestBNode:
+    def test_explicit_label(self):
+        assert BNode("b1").n3() == "_:b1"
+
+    def test_fresh_labels_unique(self):
+        assert BNode() != BNode()
+
+    def test_equality_by_label(self):
+        assert BNode("x") == BNode("x")
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        literal = Literal("hello")
+        assert literal.n3() == '"hello"'
+        assert literal.datatype is None
+
+    def test_escaping(self):
+        literal = Literal('say "hi"\nnow')
+        assert literal.n3() == '"say \\"hi\\"\\nnow"'
+
+    def test_integer_autotyped(self):
+        literal = Literal(42)
+        assert literal.lexical == "42"
+        assert literal.datatype == XSD.integer
+        assert literal.to_python() == 42
+
+    def test_float_autotyped(self):
+        assert Literal(2.5).to_python() == 2.5
+
+    def test_bool_autotyped(self):
+        literal = Literal(True)
+        assert literal.lexical == "true"
+        assert literal.to_python() is True
+
+    def test_language_tag(self):
+        literal = Literal("bonjour", language="fr")
+        assert literal.n3() == '"bonjour"@fr'
+
+    def test_datatype_and_language_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, language="en")
+
+    def test_typed_n3(self):
+        assert Literal(7).n3().endswith("XMLSchema#integer>")
+
+    def test_equality_considers_datatype(self):
+        assert Literal("5") != Literal(5)
+        assert Literal(5) == Literal(5)
+
+
+class TestOrdering:
+    def test_kind_order_bnode_uri_literal(self):
+        bnode, uri, literal = BNode("a"), URI("http://x/a"), Literal("a")
+        assert sorted([literal, uri, bnode]) == [bnode, uri, literal]
+
+    def test_numeric_literals_sort_numerically(self):
+        assert Literal(2) < Literal(10)
+
+    def test_strings_sort_lexically(self):
+        assert Literal("apple") < Literal("banana")
+
+    def test_numbers_sort_before_strings(self):
+        assert Literal(999) < Literal("a")
+
+    def test_uris_sort_by_value(self):
+        assert URI("http://a") < URI("http://b")
+
+    def test_comparison_with_non_term(self):
+        assert URI("http://a").__lt__(42) is NotImplemented

@@ -1,0 +1,111 @@
+"""Unit tests for the column expression language."""
+
+import pytest
+
+from repro.spark.column import (
+    Alias,
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    UnaryOp,
+    col,
+    conjoin,
+    lit,
+    output_name,
+    split_conjuncts,
+)
+
+
+class TestEvaluation:
+    def test_column_ref(self):
+        assert col("x").eval({"x": 5}) == 5
+
+    def test_column_ref_missing_raises(self):
+        with pytest.raises(KeyError):
+            col("x").eval({"y": 1})
+
+    def test_literal(self):
+        assert lit(42).eval({}) == 42
+
+    def test_comparisons(self):
+        row = {"a": 3, "b": 5}
+        assert (col("a") < col("b")).eval(row) is True
+        assert (col("a") >= col("b")).eval(row) is False
+        assert (col("a") == lit(3)).eval(row) is True
+        assert (col("a") != lit(3)).eval(row) is False
+
+    def test_arithmetic(self):
+        row = {"a": 10, "b": 4}
+        assert (col("a") + col("b")).eval(row) == 14
+        assert (col("a") - col("b")).eval(row) == 6
+        assert (col("a") * lit(2)).eval(row) == 20
+        assert (col("a") / col("b")).eval(row) == 2.5
+
+    def test_boolean_ops(self):
+        row = {"a": True, "b": False}
+        assert (col("a") & col("b")).eval(row) is False
+        assert (col("a") | col("b")).eval(row) is True
+        assert (~col("a")).eval(row) is False
+
+    def test_null_handling(self):
+        row = {"a": None}
+        assert (col("a") == lit(1)).eval(row) is False
+        assert (col("a") + lit(1)).eval(row) is None
+        assert col("a").isNull().eval(row) is True
+        assert col("a").isNotNull().eval(row) is False
+
+    def test_isin(self):
+        row = {"x": 2}
+        assert col("x").isin(1, 2, 3).eval(row) is True
+        assert col("x").isin([5, 6]).eval(row) is False
+
+    def test_alias_evaluates_child(self):
+        assert (col("x") + lit(1)).alias("y").eval({"x": 1}) == 2
+
+    def test_comparison_wraps_plain_values(self):
+        expr = col("x") == "hello"
+        assert isinstance(expr.right, Literal)
+        assert expr.eval({"x": "hello"}) is True
+
+
+class TestStructure:
+    def test_references(self):
+        expr = (col("a") + col("b")) > lit(3)
+        assert expr.references() == {"a", "b"}
+
+    def test_references_isin(self):
+        expr = col("a").isin(col("b"), lit(3))
+        assert expr.references() == {"a", "b"}
+
+    def test_output_name(self):
+        assert output_name(col("x")) == "x"
+        assert output_name(col("x").alias("y")) == "y"
+        assert output_name(lit(1), default="fallback") == "fallback"
+
+    def test_split_conjuncts_flattens_ands(self):
+        expr = (col("a") > lit(1)) & (col("b") > lit(2)) & (col("c") > lit(3))
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+
+    def test_split_conjuncts_keeps_or_whole(self):
+        expr = (col("a") > lit(1)) | (col("b") > lit(2))
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_conjoin_roundtrip(self):
+        parts = [col("a") > lit(1), col("b") > lit(2)]
+        rebuilt = conjoin(parts)
+        assert rebuilt.eval({"a": 5, "b": 5}) is True
+        assert rebuilt.eval({"a": 0, "b": 5}) is False
+
+    def test_conjoin_empty_returns_none(self):
+        assert conjoin([]) is None
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("%%", lit(1), lit(2))
+        with pytest.raises(ValueError):
+            UnaryOp("sqrt", lit(1))
+
+    def test_same_as_structural_equality(self):
+        assert (col("a") > lit(1)).same_as(col("a") > lit(1))
+        assert not (col("a") > lit(1)).same_as(col("a") > lit(2))

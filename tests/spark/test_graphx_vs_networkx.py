@@ -1,0 +1,82 @@
+"""Cross-validate the GraphX library algorithms against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.spark.context import SparkContext
+from repro.spark.graphx import (
+    Graph,
+    connected_components,
+    pagerank,
+    shortest_paths,
+    triangle_count,
+)
+
+
+def random_edges(n, m, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+@pytest.fixture(params=[3, 11, 23], ids=lambda s: "seed%d" % s)
+def graphs(request):
+    edges = random_edges(n=12, m=20, seed=request.param)
+    ours = Graph.from_edge_tuples(
+        SparkContext(4), [(a, b, None) for a, b in edges]
+    )
+    theirs = nx.DiGraph(edges)
+    return ours, theirs
+
+
+def test_pagerank_agrees(graphs):
+    ours, theirs = graphs
+    mine = pagerank(ours, num_iterations=60, handle_dangling=True)
+    reference = nx.pagerank(theirs, alpha=0.85, max_iter=200)
+    # networkx normalizes to sum 1; ours to sum n.  Compare shapes.
+    n = theirs.number_of_nodes()
+    for node in theirs.nodes:
+        assert mine[node] / n == pytest.approx(reference[node], abs=0.02)
+
+    # Rankings agree on the extremes.
+    top_mine = max(mine, key=mine.get)
+    top_theirs = max(reference, key=reference.get)
+    assert top_mine == top_theirs
+
+
+def test_connected_components_agree(graphs):
+    ours, theirs = graphs
+    mine = connected_components(ours)
+    reference = list(nx.connected_components(theirs.to_undirected()))
+    # Same partition of the vertex set.
+    mine_groups = {}
+    for node, label in mine.items():
+        mine_groups.setdefault(label, set()).add(node)
+    assert sorted(map(sorted, mine_groups.values())) == sorted(
+        map(sorted, reference)
+    )
+
+
+def test_triangle_count_agrees(graphs):
+    ours, theirs = graphs
+    mine = triangle_count(ours)
+    reference = nx.triangles(theirs.to_undirected())
+    assert mine == reference
+
+
+def test_shortest_paths_agree(graphs):
+    ours, theirs = graphs
+    landmark = sorted(theirs.nodes)[0]
+    mine = shortest_paths(ours, [landmark])
+    # Our distances follow edge direction (vertex -> landmark).
+    reference = nx.shortest_path_length(theirs, target=landmark)
+    for node in theirs.nodes:
+        expected = reference.get(node)
+        got = mine[node].get(landmark)
+        assert got == expected

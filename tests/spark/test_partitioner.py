@@ -1,0 +1,89 @@
+"""Unit tests for partitioners and the stable hash."""
+
+import pytest
+
+from repro.spark.partitioner import (
+    FunctionPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_known_types(self):
+        assert stable_hash(5) == 5
+        assert stable_hash(True) == 1
+        assert stable_hash(None) == 0
+        assert isinstance(stable_hash(3.5), int)
+        assert isinstance(stable_hash(("a", 1)), int)
+
+    def test_negative_int_wraps_to_unsigned(self):
+        assert stable_hash(-1) == 0xFFFFFFFF
+
+    def test_tuple_order_matters(self):
+        assert stable_hash(("a", "b")) != stable_hash(("b", "a"))
+
+    def test_arbitrary_objects_fall_back_to_repr(self):
+        class Thing:
+            def __repr__(self):
+                return "Thing()"
+
+        assert stable_hash(Thing()) == stable_hash(Thing())
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        part = HashPartitioner(7)
+        for key in ["a", "b", 1, 2.5, None, ("x", 1)]:
+            assert 0 <= part.partition_for(key) < 7
+
+    def test_equality_by_type_and_count(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+        assert HashPartitioner(4) != RangePartitioner(4, [])
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_hashable(self):
+        assert len({HashPartitioner(4), HashPartitioner(4)}) == 1
+
+
+class TestRangePartitioner:
+    def test_bounds_split_keys(self):
+        part = RangePartitioner(3, [10, 20])
+        assert part.partition_for(5) == 0
+        assert part.partition_for(10) == 1
+        assert part.partition_for(15) == 1
+        assert part.partition_for(25) == 2
+
+    def test_overflow_clamps_to_last(self):
+        part = RangePartitioner(2, [10])
+        assert part.partition_for(1000) == 1
+
+    def test_equality_includes_bounds(self):
+        assert RangePartitioner(2, [1]) == RangePartitioner(2, [1])
+        assert RangePartitioner(2, [1]) != RangePartitioner(2, [2])
+
+
+class TestFunctionPartitioner:
+    def test_wraps_function(self):
+        part = FunctionPartitioner(2, lambda k: k % 2)
+        assert part.partition_for(3) == 1
+
+    def test_distinct_names_not_equal(self):
+        a = FunctionPartitioner(2, lambda k: 0, "a")
+        b = FunctionPartitioner(2, lambda k: 0, "b")
+        assert a != b
+        assert a == FunctionPartitioner(2, lambda k: 1, "a")
+
+    def test_out_of_range_raises(self):
+        part = FunctionPartitioner(2, lambda k: 5, "bad")
+        with pytest.raises(ValueError):
+            part.partition_for(1)

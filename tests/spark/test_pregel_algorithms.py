@@ -1,0 +1,89 @@
+"""The Pregel-based algorithms agree with the reference implementations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spark.context import SparkContext
+from repro.spark.graphx import (
+    Graph,
+    connected_components,
+    connected_components_pregel,
+    shortest_paths,
+    shortest_paths_pregel,
+)
+
+
+def build(edges):
+    return Graph.from_edge_tuples(
+        SparkContext(4), [(a, b, None) for a, b in edges]
+    )
+
+
+class TestConnectedComponentsPregel:
+    def test_two_components(self):
+        graph = build([(1, 2), (2, 3), (4, 5)])
+        labels = connected_components_pregel(graph)
+        assert labels[1] == labels[2] == labels[3] == 1
+        assert labels[4] == labels[5] == 4
+
+    def test_direction_ignored(self):
+        graph = build([(2, 1), (3, 2)])
+        labels = connected_components_pregel(graph)
+        assert labels[1] == labels[2] == labels[3]
+
+    def test_matches_reference(self):
+        rng = random.Random(5)
+        edges = [
+            (rng.randrange(15), rng.randrange(15)) for _ in range(18)
+        ]
+        edges = [(a, b) for a, b in edges if a != b]
+        graph = build(edges)
+        pregel_labels = connected_components_pregel(graph)
+        reference = connected_components(graph)
+        # Same partitioning of vertices (labels are both component minima).
+        assert pregel_labels == reference
+
+
+class TestShortestPathsPregel:
+    def test_simple_chain(self):
+        graph = build([(1, 2), (2, 3), (3, 4)])
+        distances = shortest_paths_pregel(graph, [4])
+        assert distances[1][4] == 3
+        assert distances[4][4] == 0
+
+    def test_shortcut_preferred(self):
+        graph = build([(1, 2), (2, 3), (1, 3)])
+        distances = shortest_paths_pregel(graph, [3])
+        assert distances[1][3] == 1
+
+    def test_unreachable_absent(self):
+        graph = build([(1, 2), (3, 4)])
+        distances = shortest_paths_pregel(graph, [2])
+        assert 2 not in distances[3]
+
+    def test_multiple_landmarks(self):
+        graph = build([(1, 2), (2, 3)])
+        distances = shortest_paths_pregel(graph, [2, 3])
+        assert distances[1] == {2: 1, 3: 2}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_pregel_variants_match_references(raw_edges):
+    edges = [(a, b) for a, b in raw_edges if a != b]
+    if not edges:
+        return
+    graph = build(edges)
+    assert connected_components_pregel(graph) == connected_components(graph)
+    landmark = edges[0][1]
+    assert shortest_paths_pregel(graph, [landmark]) == shortest_paths(
+        graph, [landmark]
+    )

@@ -1,0 +1,156 @@
+"""Tests for the CONSTRUCT and DESCRIBE query forms (Section II-B's
+"construction of new triples" and "descriptions of resources").
+"""
+
+import pytest
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+from repro.rdf.turtle import parse_turtle
+from repro.spark.context import SparkContext
+from repro.sparql.algebra import evaluate
+from repro.sparql.ast import ConstructQuery, DescribeQuery
+from repro.sparql.parser import parse_sparql
+from repro.sparql.tokenizer import SparqlParseError
+from repro.systems import NaiveEngine, SparqlgxEngine
+
+PREFIX = "PREFIX ex: <http://x/>\n"
+
+
+@pytest.fixture(scope="module")
+def data():
+    return parse_turtle(
+        """
+        @prefix ex: <http://x/> .
+        ex:alice ex:knows ex:bob ; ex:age 30 .
+        ex:bob ex:knows ex:carol .
+        ex:carol ex:age 55 .
+        """
+    )
+
+
+class TestConstructParsing:
+    def test_parses_to_construct_query(self):
+        query = parse_sparql(
+            PREFIX
+            + "CONSTRUCT { ?b ex:knownBy ?a } WHERE { ?a ex:knows ?b }"
+        )
+        assert isinstance(query, ConstructQuery)
+        assert len(query.template) == 1
+
+    def test_template_shorthand(self):
+        query = parse_sparql(
+            PREFIX
+            + "CONSTRUCT { ?a ex:p ?b ; ex:q ?b } WHERE { ?a ex:knows ?b }"
+        )
+        assert len(query.template) == 2
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_sparql(PREFIX + "CONSTRUCT { } WHERE { ?a ex:knows ?b }")
+
+
+class TestConstructEvaluation:
+    def test_inverts_edges(self, data):
+        query = parse_sparql(
+            PREFIX
+            + "CONSTRUCT { ?b ex:knownBy ?a } WHERE { ?a ex:knows ?b }"
+        )
+        graph = evaluate(query, data)
+        assert isinstance(graph, RDFGraph)
+        assert Triple(
+            URI("http://x/bob"), URI("http://x/knownBy"), URI("http://x/alice")
+        ) in graph
+        assert len(graph) == 2
+
+    def test_constants_in_template(self, data):
+        query = parse_sparql(
+            PREFIX
+            + "CONSTRUCT { ?a ex:status ex:social } WHERE { ?a ex:knows ?b }"
+        )
+        graph = evaluate(query, data)
+        assert len(graph) == 2  # one per distinct knower (set semantics)
+
+    def test_unbound_variable_skipped(self, data):
+        query = parse_sparql(
+            PREFIX
+            + "CONSTRUCT { ?a ex:ageCopy ?age } WHERE { "
+            "?a ex:knows ?b . OPTIONAL { ?a ex:age ?age } }"
+        )
+        graph = evaluate(query, data)
+        assert len(graph) == 1  # only alice has an age
+
+    def test_invalid_instantiation_skipped(self, data):
+        # ?v binds to a literal, which cannot be a subject.
+        query = parse_sparql(
+            PREFIX + "CONSTRUCT { ?v ex:p ex:o } WHERE { ?s ex:age ?v }"
+        )
+        graph = evaluate(query, data)
+        assert len(graph) == 0
+
+    def test_engines_construct_distributedly(self, data):
+        query = (
+            PREFIX + "CONSTRUCT { ?b ex:knownBy ?a } WHERE { ?a ex:knows ?b }"
+        )
+        reference = evaluate(parse_sparql(query), data)
+        for engine_class in (NaiveEngine, SparqlgxEngine):
+            engine = engine_class(SparkContext(4))
+            engine.load(data)
+            assert engine.execute(query) == reference
+
+
+class TestDescribeParsing:
+    def test_direct_resource(self):
+        query = parse_sparql(PREFIX + "DESCRIBE ex:alice")
+        assert isinstance(query, DescribeQuery)
+        assert query.terms == [URI("http://x/alice")]
+        assert query.where is None
+
+    def test_variable_form(self):
+        query = parse_sparql(
+            PREFIX + "DESCRIBE ?s WHERE { ?s ex:knows ex:bob }"
+        )
+        assert query.variables and query.where is not None
+
+    def test_variable_without_where_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_sparql(PREFIX + "DESCRIBE ?s")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_sparql(PREFIX + "DESCRIBE WHERE { ?s ex:p ?o }")
+
+
+class TestDescribeEvaluation:
+    def test_direct_description(self, data):
+        graph = evaluate(parse_sparql(PREFIX + "DESCRIBE ex:alice"), data)
+        assert len(graph) == 2  # knows bob, age 30
+        assert all(t.subject == URI("http://x/alice") for t in graph)
+
+    def test_via_where_clause(self, data):
+        graph = evaluate(
+            parse_sparql(
+                PREFIX + "DESCRIBE ?who WHERE { ?who ex:knows ex:carol }"
+            ),
+            data,
+        )
+        assert {t.subject for t in graph} == {URI("http://x/bob")}
+
+    def test_unknown_resource_is_empty(self, data):
+        graph = evaluate(parse_sparql(PREFIX + "DESCRIBE ex:nobody"), data)
+        assert len(graph) == 0
+
+    def test_multiple_resources(self, data):
+        graph = evaluate(
+            parse_sparql(PREFIX + "DESCRIBE ex:alice ex:carol"), data
+        )
+        assert len(graph) == 3
+
+    def test_engines_describe_distributedly(self, data):
+        query = PREFIX + "DESCRIBE ?who WHERE { ?who ex:knows ?other }"
+        reference = evaluate(parse_sparql(query), data)
+        for engine_class in (NaiveEngine, SparqlgxEngine):
+            engine = engine_class(SparkContext(4))
+            engine.load(data)
+            assert engine.execute(query) == reference

@@ -1,0 +1,31 @@
+"""Shared helpers for engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spark.context import SparkContext
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+
+
+def assert_engine_matches_reference(engine, graph, query_text):
+    """Run a query on the engine and on the reference; compare multisets."""
+    query = parse_sparql(query_text)
+    expected = evaluate(query, graph)
+    actual = engine.execute(query)
+    assert actual.same_as(expected), (
+        "engine %s disagrees with reference on:\n%s\n"
+        "engine rows=%d reference rows=%d"
+        % (engine.profile.name, query_text, len(actual), len(expected))
+    )
+    return actual
+
+
+@pytest.fixture
+def loaded(request, lubm_graph):
+    """Parametrize with an engine class to get it loaded on LUBM data."""
+    engine_class = request.param
+    engine = engine_class(SparkContext(4))
+    engine.load(lubm_graph)
+    return engine

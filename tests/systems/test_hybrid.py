@@ -1,0 +1,126 @@
+"""Hybrid-engine tests: the four strategies of [21] and their costs."""
+
+import pytest
+
+from repro.data.lubm import LubmGenerator
+from repro.spark.context import SparkContext
+from repro.sparql.parser import parse_sparql
+from repro.systems.hybrid import HybridEngine, JoinStrategy
+from tests.systems.conftest import assert_engine_matches_reference
+
+PREFIX = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+)
+
+STAR = PREFIX + """
+SELECT ?s ?d ?a WHERE {
+  ?s rdf:type lubm:GraduateStudent .
+  ?s lubm:memberOf ?d .
+  ?s lubm:age ?a .
+}
+"""
+
+SNOWFLAKE = LubmGenerator.query_snowflake()
+
+DISCONNECTED = PREFIX + """
+SELECT ?u ?d WHERE {
+  ?u rdf:type lubm:University .
+  ?d rdf:type lubm:Department .
+}
+"""
+
+
+def build(lubm_graph, strategy, **kwargs):
+    engine = HybridEngine(SparkContext(4), strategy=strategy, **kwargs)
+    engine.load(lubm_graph)
+    return engine
+
+
+def run_cost(engine, query):
+    before = engine.ctx.metrics.snapshot()
+    engine.execute(query)
+    return engine.ctx.metrics.snapshot() - before
+
+
+class TestCorrectnessPerStrategy:
+    @pytest.mark.parametrize("strategy", list(JoinStrategy), ids=lambda s: s.value)
+    @pytest.mark.parametrize("query", [STAR, SNOWFLAKE, DISCONNECTED],
+                             ids=["star", "snowflake", "disconnected"])
+    def test_all_strategies_agree_with_reference(
+        self, lubm_graph, strategy, query
+    ):
+        engine = build(lubm_graph, strategy)
+        assert_engine_matches_reference(engine, lubm_graph, query)
+
+
+class TestStrategyCostProperties:
+    def test_rdd_strategy_never_broadcasts(self, lubm_graph):
+        engine = build(lubm_graph, JoinStrategy.RDD)
+        cost = run_cost(engine, SNOWFLAKE)
+        assert cost.broadcast_bytes == 0
+        assert cost.shuffle_records > 0
+
+    def test_dataframe_strategy_broadcasts_small_sides(self, lubm_graph):
+        engine = build(
+            lubm_graph, JoinStrategy.DATAFRAME, broadcast_threshold=10**6
+        )
+        cost = run_cost(engine, SNOWFLAKE)
+        assert cost.broadcast_bytes > 0
+
+    def test_dataframe_threshold_zero_degrades_to_partitioned(self, lubm_graph):
+        engine = build(
+            lubm_graph, JoinStrategy.DATAFRAME, broadcast_threshold=0
+        )
+        cost = run_cost(engine, SNOWFLAKE)
+        assert cost.broadcast_bytes == 0
+
+    def test_hybrid_exploits_subject_partitioning_on_stars(self, lubm_graph):
+        hybrid = build(lubm_graph, JoinStrategy.HYBRID)
+        rdd = build(lubm_graph, JoinStrategy.RDD)
+        hybrid_cost = run_cost(hybrid, STAR)
+        rdd_cost = run_cost(rdd, STAR)
+        # Subject-subject joins stay on their executor under hybrid.
+        assert (
+            hybrid_cost.shuffle_remote_records
+            <= rdd_cost.shuffle_remote_records
+        )
+
+    def test_hybrid_beats_rdd_on_remote_traffic_for_snowflake(self, lubm_graph):
+        hybrid = build(lubm_graph, JoinStrategy.HYBRID)
+        rdd = build(lubm_graph, JoinStrategy.RDD)
+        assert (
+            run_cost(hybrid, SNOWFLAKE).shuffle_remote_records
+            <= run_cost(rdd, SNOWFLAKE).shuffle_remote_records
+        )
+
+    def test_sql_strategy_generates_self_joins(self, lubm_graph):
+        engine = build(lubm_graph, JoinStrategy.SPARK_SQL)
+        engine.execute(STAR)
+        assert engine.last_sql.count("triples") >= 3
+
+    def test_sql_strategy_cross_join_on_disconnected_patterns(self, lubm_graph):
+        engine = build(lubm_graph, JoinStrategy.SPARK_SQL)
+        engine.execute(DISCONNECTED)
+        assert "CROSS JOIN" in engine.last_sql
+
+    def test_subject_partitioned_store(self, lubm_graph):
+        engine = build(lubm_graph, JoinStrategy.HYBRID)
+        partitions = engine.triples.collectPartitions()
+        for index, partition in enumerate(partitions):
+            for s, _p, _o in partition:
+                assert engine._partitioner.partition_for(s) == index
+
+    def test_estimated_size_uses_predicate_counts(self, lubm_graph):
+        engine = build(lubm_graph, JoinStrategy.HYBRID)
+        query = parse_sparql(STAR)
+        patterns = query.where.triple_patterns()
+        for pattern in patterns:
+            assert engine._estimated_size(pattern) > 0
+
+    def test_unknown_constant_short_circuits(self, lubm_graph):
+        engine = build(lubm_graph, JoinStrategy.HYBRID)
+        result = engine.execute(
+            PREFIX + "SELECT ?s WHERE { ?s lubm:noSuchPredicate ?o }"
+        )
+        assert len(result) == 0

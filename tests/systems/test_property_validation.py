@@ -1,0 +1,121 @@
+"""Property-based engine validation on random graphs and queries.
+
+Hypothesis builds small random RDF graphs and structured BGPs; a rotating
+subset of engines must agree with the reference evaluator on every one.
+This is the adversarial net behind the hand-written correctness tests.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+from repro.spark.context import SparkContext
+from repro.sparql.algebra import evaluate
+from repro.sparql.ast import (
+    GroupGraphPattern,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from repro.systems import (
+    GraphFramesEngine,
+    HaqwaEngine,
+    HybridEngine,
+    S2RdfEngine,
+    S2XEngine,
+    SparkRdfMesgEngine,
+    SparqlgxEngine,
+)
+
+EX = "http://x/"
+
+_subjects = st.sampled_from([URI(EX + "s%d" % i) for i in range(6)])
+_predicates = st.sampled_from([URI(EX + "p%d" % i) for i in range(3)])
+_objects = st.one_of(
+    st.sampled_from([URI(EX + "s%d" % i) for i in range(6)]),
+    st.sampled_from([Literal(i) for i in range(3)]),
+)
+_triples = st.builds(Triple, _subjects, _predicates, _objects)
+_graphs = st.lists(_triples, min_size=1, max_size=24).map(RDFGraph)
+
+
+def _star_query(predicates):
+    patterns = [
+        TriplePattern(Variable("s"), predicate, Variable("o%d" % i))
+        for i, predicate in enumerate(predicates)
+    ]
+    return SelectQuery(variables=None, where=GroupGraphPattern(patterns))
+
+
+def _chain_query(predicates):
+    patterns = [
+        TriplePattern(Variable("v%d" % i), predicate, Variable("v%d" % (i + 1)))
+        for i, predicate in enumerate(predicates)
+    ]
+    return SelectQuery(variables=None, where=GroupGraphPattern(patterns))
+
+
+_queries = st.one_of(
+    st.lists(_predicates, min_size=1, max_size=3, unique=True).map(_star_query),
+    st.lists(_predicates, min_size=2, max_size=3).map(_chain_query),
+)
+
+
+def _check(engine_class, graph, query):
+    engine = engine_class(SparkContext(4))
+    engine.load(graph)
+    expected = evaluate(query, graph)
+    actual = engine.execute(query)
+    assert actual.same_as(expected), (
+        "%s: %d vs %d rows on %r over %d triples"
+        % (
+            engine_class.profile.name,
+            len(actual),
+            len(expected),
+            query.where.triple_patterns(),
+            len(graph),
+        )
+    )
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=25, deadline=None)
+def test_haqwa_matches_reference(graph, query):
+    _check(HaqwaEngine, graph, query)
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=25, deadline=None)
+def test_sparqlgx_matches_reference(graph, query):
+    _check(SparqlgxEngine, graph, query)
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=20, deadline=None)
+def test_s2rdf_matches_reference(graph, query):
+    _check(S2RdfEngine, graph, query)
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=20, deadline=None)
+def test_hybrid_matches_reference(graph, query):
+    _check(HybridEngine, graph, query)
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=15, deadline=None)
+def test_s2x_matches_reference(graph, query):
+    _check(S2XEngine, graph, query)
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=15, deadline=None)
+def test_graphframes_matches_reference(graph, query):
+    _check(GraphFramesEngine, graph, query)
+
+
+@given(graph=_graphs, query=_queries)
+@settings(max_examples=15, deadline=None)
+def test_sparkrdf_matches_reference(graph, query):
+    _check(SparkRdfMesgEngine, graph, query)

@@ -1,0 +1,161 @@
+"""Robustness and failure-injection tests across all engines.
+
+Degenerate inputs an adopter will eventually feed every engine: empty
+graphs, single-partition clusters, one-triple datasets, inference-closed
+graphs, CONSTRUCT through the distributed path, and repeated loads.
+"""
+
+import pytest
+
+from repro.data.lubm import LubmGenerator
+from repro.rdf.graph import RDFGraph
+from repro.rdf.rdfs import RDFSReasoner
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triple import Triple
+from repro.spark.context import SparkContext
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
+
+ENGINES = (NaiveEngine,) + ALL_ENGINE_CLASSES
+PREFIX = "PREFIX ex: <http://x/>\n"
+
+
+def engine_id(cls):
+    return cls.profile.name
+
+
+def uri(name):
+    return URI("http://x/" + name)
+
+
+@pytest.mark.parametrize("engine_class", ENGINES, ids=engine_id)
+class TestDegenerateInputs:
+    def test_empty_graph(self, engine_class):
+        engine = engine_class(SparkContext(4))
+        engine.load(RDFGraph())
+        result = engine.execute(PREFIX + "SELECT ?s WHERE { ?s ex:p ?o }")
+        assert len(result) == 0
+
+    def test_single_triple(self, engine_class):
+        graph = RDFGraph([Triple(uri("a"), uri("p"), uri("b"))])
+        engine = engine_class(SparkContext(4))
+        engine.load(graph)
+        result = engine.execute(PREFIX + "SELECT ?s ?o WHERE { ?s ex:p ?o }")
+        assert len(result) == 1
+
+    def test_single_partition_context(self, engine_class, lubm_graph):
+        engine = engine_class(SparkContext(1))
+        engine.load(lubm_graph)
+        query = parse_sparql(LubmGenerator.query_star())
+        assert engine.execute(query).same_as(evaluate(query, lubm_graph))
+
+    def test_many_partitions_few_triples(self, engine_class):
+        graph = RDFGraph(
+            [
+                Triple(uri("a"), uri("p"), uri("b")),
+                Triple(uri("b"), uri("p"), uri("c")),
+            ]
+        )
+        engine = engine_class(SparkContext(16))
+        engine.load(graph)
+        query = parse_sparql(
+            PREFIX + "SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:p ?z }"
+        )
+        assert engine.execute(query).same_as(evaluate(query, graph))
+
+    def test_literal_heavy_graph(self, engine_class):
+        graph = RDFGraph(
+            [
+                Triple(uri("s%d" % i), uri("value"), Literal(i % 3))
+                for i in range(12)
+            ]
+        )
+        engine = engine_class(SparkContext(4))
+        engine.load(graph)
+        query = parse_sparql(
+            PREFIX + "SELECT ?a ?b WHERE { ?a ex:value ?v . ?b ex:value ?v }"
+        )
+        assert engine.execute(query).same_as(evaluate(query, graph))
+
+    def test_reload_replaces_data(self, engine_class):
+        first = RDFGraph([Triple(uri("a"), uri("p"), uri("b"))])
+        second = RDFGraph([Triple(uri("x"), uri("q"), uri("y"))])
+        engine = engine_class(SparkContext(4))
+        engine.load(first)
+        engine.load(second)
+        assert (
+            len(engine.execute(PREFIX + "SELECT ?s WHERE { ?s ex:p ?o }"))
+            == 0
+        )
+        assert (
+            len(engine.execute(PREFIX + "SELECT ?s WHERE { ?s ex:q ?o }"))
+            == 1
+        )
+
+
+@pytest.mark.parametrize("engine_class", ENGINES, ids=engine_id)
+def test_queries_over_rdfs_closure(engine_class, lubm_graph_with_tbox):
+    """Engines are inference-agnostic: closed graphs load and answer."""
+    closure = RDFSReasoner().materialize(lubm_graph_with_tbox)
+    engine = engine_class(SparkContext(4))
+    engine.load(closure)
+    query = parse_sparql(
+        "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+        "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+        "SELECT ?p WHERE { ?p rdf:type lubm:Person }"
+    )
+    assert engine.execute(query).same_as(evaluate(query, closure))
+
+
+@pytest.mark.parametrize("engine_class", ENGINES, ids=engine_id)
+def test_construct_through_engines(engine_class, lubm_graph):
+    query_text = (
+        "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+        "CONSTRUCT { ?p lubm:advises ?s } WHERE { ?s lubm:advisor ?p }"
+    )
+    query = parse_sparql(query_text)
+    if not engine_class(SparkContext(2)).supports(query):
+        pytest.skip("outside fragment")
+    engine = engine_class(SparkContext(4))
+    engine.load(lubm_graph)
+    assert engine.execute(query) == evaluate(query, lubm_graph)
+
+
+@pytest.mark.parametrize("engine_class", ENGINES, ids=engine_id)
+def test_describe_through_engines(engine_class, lubm_graph):
+    query_text = (
+        "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+        "DESCRIBE ?d WHERE { ?d lubm:subOrganizationOf ?u }"
+    )
+    query = parse_sparql(query_text)
+    engine = engine_class(SparkContext(4))
+    engine.load(lubm_graph)
+    assert engine.execute(query) == evaluate(query, lubm_graph)
+
+
+class TestScale:
+    """A larger dataset end to end (kept to the fast engines)."""
+
+    def test_three_universities_cross_checked(self):
+        from repro.systems import (
+            HaqwaEngine,
+            HybridEngine,
+            S2RdfEngine,
+            SparqlgxEngine,
+            SparkRdfMesgEngine,
+        )
+
+        graph = LubmGenerator(num_universities=3, seed=9).generate()
+        assert len(graph) > 1000
+        query = parse_sparql(LubmGenerator.query_snowflake())
+        expected = evaluate(query, graph)
+        for engine_class in (
+            HaqwaEngine,
+            SparqlgxEngine,
+            HybridEngine,
+            SparkRdfMesgEngine,
+        ):
+            engine = engine_class(SparkContext(8))
+            engine.load(graph)
+            assert engine.execute(query).same_as(expected), engine_class

@@ -1,0 +1,118 @@
+"""Tests for the shape-aware router (the survey's conclusions as a system)."""
+
+import pytest
+
+from repro.data.lubm import LubmGenerator
+from repro.sparql.algebra import evaluate
+from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import QueryShape
+from repro.systems import (
+    HaqwaEngine,
+    HybridEngine,
+    NaiveEngine,
+    S2RdfEngine,
+    ShapeAwareRouter,
+    SparkRdfMesgEngine,
+    SparqlgxEngine,
+)
+from repro.systems.router import DEFAULT_ROUTING
+
+PREFIX = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+)
+
+
+@pytest.fixture
+def router(lubm_graph):
+    return ShapeAwareRouter(parallelism=4).load(lubm_graph)
+
+
+class TestRoutingChoices:
+    def test_star_goes_to_haqwa(self, router):
+        assert router.choose(LubmGenerator.query_star()) is HaqwaEngine
+
+    def test_linear_goes_to_s2rdf(self, router):
+        assert router.choose(LubmGenerator.query_linear()) is S2RdfEngine
+
+    def test_snowflake_goes_to_hybrid(self, router):
+        assert router.choose(LubmGenerator.query_snowflake()) is HybridEngine
+
+    def test_complex_goes_to_sparkrdf(self, router):
+        assert (
+            router.choose(LubmGenerator.query_complex())
+            is SparkRdfMesgEngine
+        )
+
+    def test_single_goes_to_sparqlgx(self, router):
+        assert (
+            router.choose(
+                PREFIX + "SELECT ?s WHERE { ?s lubm:age ?a }"
+            )
+            is SparqlgxEngine
+        )
+
+    def test_fragment_fallback(self, router):
+        # Snowflake prefers Hybrid (BGP only); FILTER forces a fallback.
+        query = PREFIX + """
+        SELECT ?s WHERE {
+          ?s rdf:type lubm:GraduateStudent .
+          ?s lubm:memberOf ?d .
+          ?s lubm:advisor ?p .
+          ?p lubm:worksFor ?d2 .
+          ?p lubm:teacherOf ?c .
+          FILTER(?s != ?p)
+        }
+        """
+        chosen = router.choose(query)
+        assert chosen is not HybridEngine
+        assert chosen in (SparqlgxEngine, NaiveEngine)
+
+    def test_optional_falls_back_past_s2rdf(self, router):
+        query = PREFIX + """
+        SELECT ?s ?p ?dep WHERE {
+          ?s lubm:advisor ?p .
+          ?p lubm:worksFor ?dep .
+          OPTIONAL { ?s lubm:age ?a }
+        }
+        """
+        # Linear shape prefers S2RDF, which lacks OPTIONAL.
+        assert router.choose(query) is SparqlgxEngine
+
+    def test_custom_routing_override(self, lubm_graph):
+        router = ShapeAwareRouter(
+            routing={QueryShape.STAR: SparqlgxEngine}
+        ).load(lubm_graph)
+        assert router.choose(LubmGenerator.query_star()) is SparqlgxEngine
+
+
+class TestRouterExecution:
+    @pytest.mark.parametrize(
+        "name", ["star", "linear", "snowflake", "complex", "filter", "optional"]
+    )
+    def test_matches_reference_everywhere(self, router, lubm_graph, name):
+        query = parse_sparql(LubmGenerator.all_queries()[name])
+        assert router.execute(query).same_as(evaluate(query, lubm_graph))
+
+    def test_last_engine_recorded(self, router):
+        router.execute(LubmGenerator.query_star())
+        assert router.last_engine is HaqwaEngine
+
+    def test_lazy_loading(self, router):
+        assert router.loaded_engines() == []
+        router.execute(LubmGenerator.query_star())
+        assert router.loaded_engines() == ["HAQWA"]
+        router.execute(LubmGenerator.query_linear())
+        assert "S2RDF" in router.loaded_engines()
+
+    def test_execute_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            ShapeAwareRouter().execute(LubmGenerator.query_star())
+
+    def test_default_routing_covers_every_shape(self):
+        assert set(DEFAULT_ROUTING) == set(QueryShape)
+
+    def test_reload_resets_engines(self, router, watdiv_graph):
+        router.execute(LubmGenerator.query_star())
+        router.load(watdiv_graph)
+        assert router.loaded_engines() == []

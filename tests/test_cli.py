@@ -1,0 +1,136 @@
+"""Tests for the command-line interface and the generated survey report."""
+
+import pytest
+
+from repro.cli import load_graph, main
+from repro.core.survey import render_survey
+from repro.data.lubm import LubmGenerator
+from repro.rdf.ntriples import save_ntriples_file
+
+
+@pytest.fixture
+def data_file(tmp_path, lubm_graph):
+    path = tmp_path / "data.nt"
+    save_ntriples_file(str(path), lubm_graph)
+    return str(path)
+
+
+class TestSurveyReport:
+    def test_contains_every_system(self):
+        report = render_survey()
+        for name in (
+            "HAQWA", "SPARQLGX", "S2RDF", "SPARQL-Hybrid", "S2X",
+            "Spar(k)ql", "GraphFrames-RDF", "SparkRDF",
+        ):
+            assert name in report
+
+    def test_grouped_by_data_model(self):
+        report = render_survey()
+        triple_section = report.index("Triple Processing Systems")
+        graph_section = report.index("Graph Processing")
+        assert triple_section < report.index("S2RDF") < graph_section
+        assert graph_section < report.index("S2X")
+
+    def test_dimension_lines_present(self):
+        report = render_survey()
+        assert "query processing:" in report
+        assert "partitioning:" in report
+        assert "sparql fragment:" in report
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Apache Spark Abstraction" in out
+        assert "Hash / Query Aware" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        assert "HAQWA" in capsys.readouterr().out
+
+    def test_query_with_literal_text(self, data_file, capsys):
+        code = main(
+            [
+                "query",
+                data_file,
+                "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+                "SELECT DISTINCT ?d WHERE { ?s lubm:memberOf ?d }",
+                "--engine",
+                "SPARQLGX",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 solution(s)" in out  # three departments
+        assert "cost:" in out
+
+    def test_query_from_file(self, data_file, tmp_path, capsys):
+        query_path = tmp_path / "q.rq"
+        query_path.write_text(LubmGenerator.query_star())
+        assert main(["query", data_file, str(query_path)]) == 0
+        assert "solution(s)" in capsys.readouterr().out
+
+    def test_ask_query(self, data_file, capsys):
+        main(
+            [
+                "query",
+                data_file,
+                "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+                "ASK { ?s lubm:memberOf ?d }",
+            ]
+        )
+        assert capsys.readouterr().out.startswith("yes")
+
+    def test_construct_query(self, data_file, capsys):
+        main(
+            [
+                "query",
+                data_file,
+                "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+                "CONSTRUCT { ?d lubm:hasMember ?s } "
+                "WHERE { ?s lubm:memberOf ?d }",
+                "--engine",
+                "Naive",
+            ]
+        )
+        assert "triple(s)" in capsys.readouterr().out
+
+    def test_unknown_engine_exits(self, data_file):
+        with pytest.raises(SystemExit):
+            main(["query", data_file, "SELECT ?s WHERE { ?s ?p ?o }",
+                  "--engine", "NoSuchEngine"])
+
+    def test_generate_then_load_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "generated.nt"
+        assert main(["generate", "lubm", str(path), "--scale", "1"]) == 0
+        graph = load_graph(str(path))
+        assert len(graph) > 100
+
+    def test_generate_watdiv(self, tmp_path):
+        path = tmp_path / "shop.nt"
+        assert main(["generate", "watdiv", str(path)]) == 0
+
+    def test_load_turtle(self, tmp_path):
+        path = tmp_path / "d.ttl"
+        path.write_text(
+            "@prefix ex: <http://x/> .\nex:a ex:p ex:b .\n"
+        )
+        assert len(load_graph(str(path))) == 1
+
+    def test_assess_small(self, tmp_path, capsys):
+        from repro.data.lubm import LubmGenerator as Gen
+        from repro.rdf.ntriples import save_ntriples_file
+
+        graph = Gen(
+            num_universities=1,
+            departments_per_university=1,
+            professors_per_department=2,
+            students_per_department=4,
+            courses_per_department=3,
+        ).generate()
+        path = tmp_path / "tiny.nt"
+        save_ntriples_file(str(path), graph)
+        assert main(["assess", str(path), "--parallelism", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SPARQLGX" in out and "WRONG" not in out
