@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence, Type, Union
 from repro.rdf.graph import RDFGraph
 from repro.spark.context import SparkContext
 from repro.spark.metrics import MetricsSnapshot
+from repro.spark.tracing import Span, trace_payload
 from repro.sparql.algebra import evaluate
 from repro.sparql.ast import Query, SelectQuery
 from repro.sparql.parser import parse_sparql
@@ -27,6 +28,17 @@ class RunResult:
     supported: bool
     seconds: float
     metrics: MetricsSnapshot
+    #: Root spans of the execution trace when the run was traced, else None.
+    trace: Optional[List[Span]] = None
+
+    def trace_payload(self) -> Optional[Dict[str, object]]:
+        """JSON-ready trace document, or None for untraced runs."""
+        if self.trace is None:
+            return None
+        payload = trace_payload(self.trace)
+        payload["engine"] = self.engine
+        payload["query"] = self.query
+        return payload
 
     def cost_summary(self) -> Dict[str, int]:
         return {
@@ -43,16 +55,26 @@ def run_engine_on_query(
     query: Union[str, Query],
     name: str = "query",
     reference: Optional[SolutionSet] = None,
+    trace: bool = False,
 ) -> RunResult:
-    """Execute one query on a loaded engine, measuring its marginal cost."""
+    """Execute one query on a loaded engine, measuring its marginal cost.
+
+    With ``trace=True`` the context's tracer brackets the execution and
+    the result carries the span tree in :attr:`RunResult.trace`; the
+    tracer's previous enabled state is restored afterwards.
+    """
     if isinstance(query, str):
         query = parse_sparql(query)
     ctx = engine.ctx
+    was_enabled = ctx.tracer.enabled
+    if trace:
+        ctx.tracer.clear().enable()
     before = ctx.metrics.snapshot()
     start = time.perf_counter()
     try:
         result = engine.execute(query)
     except UnsupportedQueryError:
+        ctx.tracer.enabled = was_enabled
         return RunResult(
             engine=engine.profile.name,
             query=name,
@@ -62,6 +84,8 @@ def run_engine_on_query(
             seconds=0.0,
             metrics=MetricsSnapshot({}),
         )
+    finally:
+        ctx.tracer.enabled = was_enabled
     elapsed = time.perf_counter() - start
     cost = ctx.metrics.snapshot() - before
     correct = None
@@ -76,6 +100,7 @@ def run_engine_on_query(
         supported=True,
         seconds=elapsed,
         metrics=cost,
+        trace=list(ctx.tracer.roots) if trace else None,
     )
 
 
@@ -93,8 +118,16 @@ class BenchRun:
         queries: Dict[str, Union[str, Query]],
         check_correctness: bool = True,
         engine_kwargs: Optional[Dict[str, dict]] = None,
+        trace: bool = False,
     ) -> List[RunResult]:
-        """Load each engine once, run every query, return all results."""
+        """Load each engine once, run every query, return all results.
+
+        Each call starts from a clean slate: ``self.results`` is reset, so
+        repeated calls do not silently accumulate earlier matrices (use
+        separate :class:`BenchRun` instances to keep several).  With
+        ``trace=True`` every result carries its execution span tree.
+        """
+        self.reset()
         parsed: Dict[str, Query] = {
             name: parse_sparql(q) if isinstance(q, str) else q
             for name, q in queries.items()
@@ -114,10 +147,14 @@ class BenchRun:
             for name, query in parsed.items():
                 self.results.append(
                     run_engine_on_query(
-                        engine, query, name, references[name]
+                        engine, query, name, references[name], trace=trace
                     )
                 )
         return self.results
+
+    def reset(self) -> None:
+        """Drop all collected results (run() calls this automatically)."""
+        self.results = []
 
     def incorrect(self) -> List[RunResult]:
         return [r for r in self.results if r.correct is False]

@@ -7,11 +7,15 @@ Commands
 ``survey``
     Print the per-system survey report (Section IV, generated from the
     engine profiles).
-``query DATA QUERY [--engine NAME]``
+``query DATA QUERY [--engine NAME] [--trace FILE]``
     Run a SPARQL query file (or literal) against an RDF file (N-Triples
     ``.nt`` or Turtle ``.ttl``) on a chosen engine; prints the solutions
-    and the measured cost.
-``assess DATA``
+    and the measured cost.  ``--trace FILE`` writes the execution trace
+    (per-span metric deltas) as JSON.
+``explain DATA QUERY [--engine NAME ...]``
+    Print a per-operator cost tree for the query on each engine (three
+    engines with distinct cost profiles by default).
+``assess DATA [--trace FILE]``
     Run the cross-system assessment matrix on an RDF file.
 ``generate {lubm,watdiv} PATH``
     Write a synthetic dataset to an N-Triples file.
@@ -26,7 +30,6 @@ from typing import List, Optional
 
 from repro.bench import BenchRun, format_table
 from repro.core import (
-    default_registry,
     render_table_i,
     render_table_ii,
     render_taxonomy,
@@ -51,16 +54,12 @@ def load_graph(path: str) -> RDFGraph:
 
 
 def _engine_class(name: str):
-    if name.lower() == "naive":
-        return NaiveEngine
-    registry = default_registry()
+    from repro.explain import engine_class
+
     try:
-        return registry.by_name(name)
-    except KeyError:
-        choices = ["Naive"] + [c.profile.name for c in registry]
-        raise SystemExit(
-            "unknown engine %r; choose one of: %s" % (name, ", ".join(choices))
-        )
+        return engine_class(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
 
 
 def cmd_tables(_args) -> int:
@@ -86,19 +85,27 @@ def cmd_claims(_args) -> int:
     return 0 if "DOES NOT HOLD" not in report else 1
 
 
+def _read_query_arg(query_arg: str) -> str:
+    if os.path.exists(query_arg):
+        with open(query_arg, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return query_arg
+
+
 def cmd_query(args) -> int:
     graph = load_graph(args.data)
-    if os.path.exists(args.query):
-        with open(args.query, "r", encoding="utf-8") as handle:
-            query_text = handle.read()
-    else:
-        query_text = args.query
+    query_text = _read_query_arg(args.query)
     sc = SparkContext(default_parallelism=args.parallelism)
     engine = _engine_class(args.engine)(sc)
     engine.load(graph)
+    if args.trace:
+        sc.tracer.clear().enable()
     before = sc.metrics.snapshot()
     result = engine.execute(query_text)
     cost = sc.metrics.snapshot() - before
+    if args.trace:
+        sc.tracer.disable()
+        _write_query_trace(args.trace, engine.profile.name, cost, sc.tracer.roots)
     if isinstance(result, SolutionSet):
         headers = ["?" + v for v in result.variables]
         print(format_table(headers, result.to_table()))
@@ -118,6 +125,29 @@ def cmd_query(args) -> int:
             cost.join_comparisons,
         )
     )
+    if args.trace:
+        print("trace written to %s" % args.trace)
+    return 0
+
+
+def _write_query_trace(path, engine_name, cost, spans) -> None:
+    from repro.explain import run_record, write_trace_file
+
+    write_trace_file(path, [run_record(engine_name, "query", cost, spans)])
+
+
+def cmd_explain(args) -> int:
+    from repro.explain import DEFAULT_EXPLAIN_ENGINES, explain
+
+    graph = load_graph(args.data)
+    query_text = _read_query_arg(args.query)
+    engines = [
+        _engine_class(name)
+        for name in (args.engine or list(DEFAULT_EXPLAIN_ENGINES))
+    ]
+    print(
+        explain(graph, query_text, engines, parallelism=args.parallelism)
+    )
     return 0
 
 
@@ -130,7 +160,20 @@ def cmd_assess(args) -> int:
         "complex": LubmGenerator.query_complex(),
     }
     bench = BenchRun(graph, parallelism=args.parallelism)
-    results = bench.run((NaiveEngine,) + ALL_ENGINE_CLASSES, queries)
+    results = bench.run(
+        (NaiveEngine,) + ALL_ENGINE_CLASSES, queries, trace=bool(args.trace)
+    )
+    if args.trace:
+        from repro.explain import run_record, write_trace_file
+
+        write_trace_file(
+            args.trace,
+            [
+                run_record(r.engine, r.query, r.metrics, r.trace or [])
+                for r in results
+            ],
+        )
+        print("trace written to %s" % args.trace)
     rows = [
         [
             r.engine,
@@ -188,12 +231,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="SPARQLGX", help="engine name (default SPARQLGX)"
     )
     query.add_argument("--parallelism", type=int, default=4)
+    query.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write the execution trace (JSON span tree) to FILE",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="print a per-operator cost tree for a query on several engines",
+    )
+    explain.add_argument("data", help="RDF file (.nt or .ttl)")
+    explain.add_argument("query", help="SPARQL file or literal query text")
+    explain.add_argument(
+        "--engine",
+        action="append",
+        help="engine to explain (repeatable; default: SPARQLGX, S2RDF, HAQWA)",
+    )
+    explain.add_argument("--parallelism", type=int, default=4)
 
     assess = sub.add_parser(
         "assess", help="run the cross-system assessment on a data file"
     )
     assess.add_argument("data", help="RDF file (.nt or .ttl)")
     assess.add_argument("--parallelism", type=int, default=4)
+    assess.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write every run's execution trace (JSON) to FILE",
+    )
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to N-Triples"
@@ -213,6 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "survey": cmd_survey,
         "claims": cmd_claims,
         "query": cmd_query,
+        "explain": cmd_explain,
         "assess": cmd_assess,
         "generate": cmd_generate,
     }

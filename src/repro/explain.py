@@ -1,0 +1,214 @@
+"""EXPLAIN: per-operator cost trees for queries on the simulated cluster.
+
+The paper's Table II makes *qualitative* claims about where each engine
+pays its cost (shuffle volume, join comparisons, broadcast size).  This
+module turns those claims into evidence the way the S2RDF and Naacke et
+al. evaluations do: run the query with the context's
+:class:`~repro.spark.tracing.Tracer` enabled and render the recorded span
+tree -- the algebra/physical plan -- with each operator annotated by the
+metric deltas it caused.
+
+Entry points:
+
+* :func:`run_traced` -- one (engine, query) execution returning an
+  :class:`EngineExplain` with the span tree and flat totals.
+* :func:`explain` -- side-by-side cost trees for several engines,
+  rendered as text (the backend of ``python -m repro explain``).
+* :func:`trace_file_payload` -- the JSON document written by the CLI's
+  ``--trace FILE`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Type, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.spark.context import SparkContext
+from repro.spark.metrics import MetricsSnapshot
+from repro.spark.tracing import (
+    Span,
+    TRACE_FORMAT_VERSION,
+    render_trace,
+    trace_totals,
+)
+from repro.sparql.ast import Query
+from repro.sparql.parser import parse_sparql
+from repro.sparql.results import SolutionSet
+from repro.systems.base import SparkRdfEngine, UnsupportedQueryError
+
+#: Engines shown by ``repro explain`` when none are named: one vertical-
+#: partitioning system, one SQL-compiling system, one hash-fragmenting
+#: system -- three different cost profiles for the same query.
+DEFAULT_EXPLAIN_ENGINES = ("SPARQLGX", "S2RDF", "HAQWA")
+
+
+def engine_class(name: str) -> Type[SparkRdfEngine]:
+    """Resolve an engine name (case-insensitive; ``Naive`` included).
+
+    Raises ``KeyError`` listing the valid choices for unknown names.
+    """
+    from repro.core.registry import default_registry
+    from repro.systems import NaiveEngine
+
+    if name.lower() == "naive":
+        return NaiveEngine
+    registry = default_registry()
+    try:
+        return registry.by_name(name)
+    except KeyError:
+        pass
+    for cls in registry:
+        if cls.profile.name.lower() == name.lower():
+            return cls
+    choices = ["Naive"] + [cls.profile.name for cls in registry]
+    raise KeyError(
+        "unknown engine %r; choose one of: %s" % (name, ", ".join(choices))
+    )
+
+
+@dataclass
+class EngineExplain:
+    """One traced (engine, query) execution."""
+
+    engine: str
+    supported: bool
+    rows: Optional[int]
+    spans: List[Span] = field(default_factory=list)
+    totals: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    error: str = ""
+
+    def render(self) -> str:
+        header = "== %s ==" % self.engine
+        if not self.supported:
+            return "%s\nunsupported: %s" % (header, self.error)
+        totals_line = "totals: %s" % (
+            " ".join(
+                "%s=%d" % (counter, value)
+                for counter, value in self.totals
+                if value
+            )
+            or "(no cost charged)"
+        )
+        body = render_trace(self.spans)
+        rows_line = "rows: %s" % self.rows
+        return "\n".join([header, rows_line, totals_line, body])
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready record; span deltas sum to ``totals`` by construction."""
+        return {
+            "engine": self.engine,
+            "supported": self.supported,
+            "rows": self.rows,
+            "totals": {
+                counter: value for counter, value in self.totals if value
+            },
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+def run_traced(
+    graph: RDFGraph,
+    query: Union[str, Query],
+    engine_cls: Type[SparkRdfEngine],
+    parallelism: int = 4,
+) -> EngineExplain:
+    """Load *engine_cls* on a fresh context and execute *query* traced.
+
+    The store build runs untraced (load cost is not query cost); tracing
+    brackets exactly the ``execute`` call, so the root ``query`` span's
+    inclusive delta equals the flat snapshot difference of the run.
+    """
+    if isinstance(query, str):
+        query = parse_sparql(query)
+    sc = SparkContext(default_parallelism=parallelism)
+    engine = engine_cls(sc)
+    engine.load(graph)
+    sc.tracer.clear().enable()
+    before = sc.metrics.snapshot()
+    try:
+        result = engine.execute(query)
+    except UnsupportedQueryError as exc:
+        return EngineExplain(
+            engine=engine.profile.name,
+            supported=False,
+            rows=None,
+            error=str(exc),
+        )
+    finally:
+        sc.tracer.disable()
+    totals = sc.metrics.snapshot() - before
+    if isinstance(result, SolutionSet):
+        rows: int = len(result)
+    elif isinstance(result, bool):
+        rows = int(result)
+    else:  # CONSTRUCT / DESCRIBE graphs
+        rows = len(result)
+    return EngineExplain(
+        engine=engine.profile.name,
+        supported=True,
+        rows=rows,
+        spans=list(sc.tracer.roots),
+        totals=totals,
+    )
+
+
+def explain(
+    graph: RDFGraph,
+    query: Union[str, Query],
+    engines: Sequence[Union[str, Type[SparkRdfEngine]]] = DEFAULT_EXPLAIN_ENGINES,
+    parallelism: int = 4,
+) -> str:
+    """Side-by-side per-operator cost trees for *query* on *engines*."""
+    if isinstance(query, str):
+        query = parse_sparql(query)
+    sections: List[str] = []
+    for engine in engines:
+        cls = engine_class(engine) if isinstance(engine, str) else engine
+        sections.append(run_traced(graph, query, cls, parallelism).render())
+    return "\n\n".join(sections)
+
+
+def run_record(
+    engine: str,
+    query: str,
+    totals: MetricsSnapshot,
+    spans: Sequence[Span],
+) -> Dict[str, Any]:
+    """One ``runs[]`` entry of a trace file."""
+    return {
+        "engine": engine,
+        "query": query,
+        "totals": {counter: value for counter, value in totals if value},
+        "spans": [span.to_dict() for span in spans],
+    }
+
+
+def trace_file_payload(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The document ``--trace FILE`` writes: one record per traced run."""
+    return {"version": TRACE_FORMAT_VERSION, "runs": list(records)}
+
+
+def write_trace_file(path: str, records: Sequence[Dict[str, Any]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_file_payload(records), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def verify_conservation(run: EngineExplain) -> Dict[str, Any]:
+    """Check that the run's span deltas reproduce its flat totals.
+
+    Returns an empty dict when they match; otherwise a mapping of counter
+    name to (flat total, trace total).  Used by tests and by doubting
+    readers of trace files.
+    """
+    from_spans = trace_totals(run.spans)
+    names = {counter for counter, _ in run.totals} | {
+        counter for counter, _ in from_spans
+    }
+    return {
+        counter: (run.totals[counter], from_spans[counter])
+        for counter in sorted(names)
+        if run.totals[counter] != from_spans[counter]
+    }

@@ -26,6 +26,14 @@ from repro.spark.partitioner import (
 from repro.spark.rdd import RDD
 from repro.spark.row import Row
 from repro.spark.sql.session import SparkSession
+from repro.spark.tracing import (
+    Span,
+    Tracer,
+    render_trace,
+    trace_from_json,
+    trace_to_json,
+    trace_totals,
+)
 
 __all__ = [
     "Broadcast",
@@ -37,6 +45,12 @@ __all__ = [
     "RDD",
     "RangePartitioner",
     "Row",
+    "Span",
     "SparkContext",
     "SparkSession",
+    "Tracer",
+    "render_trace",
+    "trace_from_json",
+    "trace_to_json",
+    "trace_totals",
 ]

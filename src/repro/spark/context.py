@@ -8,10 +8,11 @@ from repro.spark.broadcast import Broadcast
 from repro.spark.metrics import MetricsCollector
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import ParallelCollectionRDD, PrePartitionedRDD, RDD
+from repro.spark.tracing import Tracer
 
 
 class SparkContext:
-    """Owns the virtual cluster: executors, metrics, and RDD creation.
+    """Owns the virtual cluster: executors, metrics, tracing, and RDD creation.
 
     Parameters
     ----------
@@ -35,6 +36,8 @@ class SparkContext:
         if self.num_executors <= 0:
             raise ValueError("num_executors must be positive")
         self.metrics = MetricsCollector()
+        #: Span recorder for per-stage cost attribution; disabled by default.
+        self.tracer = Tracer(self.metrics)
         self._rdd_counter = 0
         self._broadcast_counter = 0
 
@@ -78,7 +81,12 @@ class SparkContext:
     def broadcast(self, value: Any) -> Broadcast:
         """Ship a read-only value to every executor (cost is charged)."""
         self._broadcast_counter += 1
-        return Broadcast(self, value, self._broadcast_counter)
+        if not self.tracer.enabled:
+            return Broadcast(self, value, self._broadcast_counter)
+        with self.tracer.span(
+            "broadcast", name="b%d" % self._broadcast_counter
+        ):
+            return Broadcast(self, value, self._broadcast_counter)
 
     def accumulator(self, zero: Any = 0, add=None, name: str = None):
         """Create a write-only shared counter (see

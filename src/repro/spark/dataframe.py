@@ -241,6 +241,39 @@ class DataFrame:
             if threshold is not None and other._estimated_bytes() <= threshold:
                 use_broadcast = True
 
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "join",
+                name="broadcast" if use_broadcast else "partitioned",
+                on=",".join(keys),
+                how=how,
+            ):
+                joined = self._joined_pairs(
+                    left_pairs, right_pairs, use_broadcast, how
+                )
+                joined.cache()
+                joined.count()
+        else:
+            joined = self._joined_pairs(
+                left_pairs, right_pairs, use_broadcast, how
+            )
+
+        n_left = len(left_rest)
+        n_right = len(right_rest)
+
+        def assemble(item: Tuple[Any, Tuple[Any, Any]]) -> Tuple[Any, ...]:
+            key, (left_values, right_values) = item
+            left_values = left_values if left_values is not None else (None,) * n_left
+            right_values = right_values if right_values is not None else (None,) * n_right
+            return tuple(key) + tuple(left_values) + tuple(right_values)
+
+        return self._with(joined.map(assemble), out_columns)
+
+    def _joined_pairs(
+        self, left_pairs: RDD, right_pairs: RDD, use_broadcast: bool, how: str
+    ) -> RDD:
+        """Run the selected join strategy over keyed pair RDDs."""
         if use_broadcast:
             if how != "inner":
                 raise ValueError("broadcast join supports only inner joins")
@@ -257,17 +290,7 @@ class DataFrame:
                 raise ValueError("unknown join type %r" % how)
             joined = method(right_pairs)
             self.ctx.metrics.incr("partitioned_joins")
-
-        n_left = len(left_rest)
-        n_right = len(right_rest)
-
-        def assemble(item: Tuple[Any, Tuple[Any, Any]]) -> Tuple[Any, ...]:
-            key, (left_values, right_values) = item
-            left_values = left_values if left_values is not None else (None,) * n_left
-            right_values = right_values if right_values is not None else (None,) * n_right
-            return tuple(key) + tuple(left_values) + tuple(right_values)
-
-        return self._with(joined.map(assemble), out_columns)
+        return joined
 
     def crossJoin(self, other: "DataFrame") -> "DataFrame":
         """Cartesian product (the inefficiency Section IV-A3 warns about)."""

@@ -590,7 +590,13 @@ class ParallelCollectionRDD(RDD):
 
     def compute(self, index: int) -> List[Any]:
         part = self._slices[index]
-        self.ctx.metrics.record_scan(len(part))
+        if self.ctx.tracer.enabled:
+            with self.ctx.tracer.span(
+                "scan", name="rdd%d" % self.id, partition=index
+            ):
+                self.ctx.metrics.record_scan(len(part))
+        else:
+            self.ctx.metrics.record_scan(len(part))
         return list(part)
 
 
@@ -613,7 +619,13 @@ class PrePartitionedRDD(RDD):
 
     def compute(self, index: int) -> List[Any]:
         part = self._parts[index]
-        self.ctx.metrics.record_scan(len(part))
+        if self.ctx.tracer.enabled:
+            with self.ctx.tracer.span(
+                "scan", name="rdd%d" % self.id, partition=index
+            ):
+                self.ctx.metrics.record_scan(len(part))
+        else:
+            self.ctx.metrics.record_scan(len(part))
         return list(part)
 
 
@@ -713,6 +725,22 @@ class ShuffledRDD(RDD):
         if self._buckets is not None:
             return self._buckets
         ctx = self.ctx
+        if ctx.tracer.enabled:
+            with ctx.tracer.span(
+                "shuffle",
+                name="rdd%d" % self.id,
+                partitions=self.partitioner.num_partitions,
+                aggregated=self.aggregator is not None,
+            ) as span:
+                buckets = self._do_shuffle(span)
+        else:
+            buckets = self._do_shuffle(None)
+        self._buckets = buckets
+        return buckets
+
+    def _do_shuffle(self, span) -> List[List[Any]]:
+        """Run the simulated shuffle, charging and (optionally) tracing it."""
+        ctx = self.ctx
         num_out = self.partitioner.num_partitions
         buckets: List[List[Any]] = [[] for _ in range(num_out)]
         records = remote = nbytes = 0
@@ -749,7 +777,10 @@ class ShuffledRDD(RDD):
                         merged[key] = value
                 buckets[i] = list(merged.items())
         ctx.metrics.record_shuffle(records, remote, nbytes)
-        self._buckets = buckets
+        if span is not None:
+            span.attrs["records"] = records
+            span.attrs["remote"] = remote
+            span.attrs["bytes"] = nbytes
         return buckets
 
     def compute(self, index: int) -> List[Any]:

@@ -107,8 +107,41 @@ def _split_join_condition(
     return pairs, conjoin(residual)
 
 
+def _plan_attrs(plan: LogicalPlan) -> Dict[str, object]:
+    """Small, JSON-safe span attributes describing one plan node."""
+    if isinstance(plan, Scan):
+        attrs: Dict[str, object] = {"table": plan.table}
+        if plan.alias:
+            attrs["alias"] = plan.alias
+        return attrs
+    if isinstance(plan, Join):
+        return {"how": plan.how}
+    if isinstance(plan, Aggregate):
+        return {"group_by": list(plan.group_by)}
+    if isinstance(plan, Limit):
+        return {"count": plan.count, "offset": plan.offset}
+    return {}
+
+
 def execute(plan: LogicalPlan, session) -> DataFrame:
-    """Evaluate *plan* against the session catalog."""
+    """Evaluate *plan* against the session catalog.
+
+    When the context's tracer is enabled, each plan node gets a ``sql``
+    span and its output is materialized (cached and counted) inside that
+    span, so the lazily charged costs land on the operator that caused
+    them -- the physical-plan half of ``repro explain``.
+    """
+    tracer = session.ctx.tracer
+    if not tracer.enabled:
+        return _execute_node(plan, session)
+    with tracer.span("sql", name=type(plan).__name__, **_plan_attrs(plan)):
+        df = _execute_node(plan, session)
+        df.rdd.cache()
+        df.rdd.count()
+        return df
+
+
+def _execute_node(plan: LogicalPlan, session) -> DataFrame:
     if isinstance(plan, Scan):
         df = session.table(plan.table)
         columns = plan.required_columns
