@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Sequence, Type, Union
 
 from repro.rdf.graph import RDFGraph
 from repro.spark.context import SparkContext
+from repro.spark.faults import FaultScheduler
 from repro.spark.metrics import MetricsSnapshot
 from repro.spark.tracing import Span, trace_payload
 from repro.sparql.algebra import evaluate
@@ -106,11 +107,30 @@ def run_engine_on_query(
 
 @dataclass
 class BenchRun:
-    """A matrix run: engines x named queries over one dataset."""
+    """A matrix run: engines x named queries over one dataset.
+
+    ``faults`` (a spec string or a
+    :class:`~repro.spark.faults.FaultScheduler`) puts every engine of the
+    matrix under the *same* adversarial schedule: each engine gets a
+    fresh fork, so firing counters never leak between engines and the
+    matrix stays deterministic.  Correctness checking then doubles as a
+    recovery test -- answers must survive the schedule unchanged.
+    """
 
     graph: RDFGraph
     parallelism: int = 4
+    faults: Union[None, str, FaultScheduler] = None
+    max_task_attempts: int = 4
+    speculation: bool = False
     results: List[RunResult] = field(default_factory=list)
+
+    def _fault_schedule(self) -> Optional[FaultScheduler]:
+        """A fresh, equivalent scheduler for the next engine, or None."""
+        if self.faults is None:
+            return None
+        if isinstance(self.faults, str):
+            return FaultScheduler.from_spec(self.faults)
+        return self.faults.fork()
 
     def run(
         self,
@@ -140,7 +160,12 @@ class BenchRun:
                 references[name] = None
         kwargs_by_name = engine_kwargs or {}
         for engine_class in engine_classes:
-            ctx = SparkContext(self.parallelism)
+            ctx = SparkContext(
+                self.parallelism,
+                faults=self._fault_schedule(),
+                max_task_attempts=self.max_task_attempts,
+                speculation=self.speculation,
+            )
             kwargs = kwargs_by_name.get(engine_class.profile.name, {})
             engine = engine_class(ctx, **kwargs)
             engine.load(self.graph)

@@ -41,6 +41,7 @@ from repro.rdf.graph import RDFGraph
 from repro.rdf.ntriples import load_ntriples_file, save_ntriples_file
 from repro.rdf.turtle import parse_turtle
 from repro.spark.context import SparkContext
+from repro.spark.faults import FaultSpecError, TaskFailedError
 from repro.sparql.results import SolutionSet
 from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
 
@@ -95,7 +96,12 @@ def _read_query_arg(query_arg: str) -> str:
 def cmd_query(args) -> int:
     graph = load_graph(args.data)
     query_text = _read_query_arg(args.query)
-    sc = SparkContext(default_parallelism=args.parallelism)
+    sc = SparkContext(
+        default_parallelism=args.parallelism,
+        faults=args.faults,
+        max_task_attempts=args.max_task_attempts,
+        speculation=args.speculation,
+    )
     engine = _engine_class(args.engine)(sc)
     engine.load(graph)
     if args.trace:
@@ -125,6 +131,17 @@ def cmd_query(args) -> int:
             cost.join_comparisons,
         )
     )
+    if sc.faults is not None:
+        total = sc.metrics.snapshot()
+        print(
+            "recovery: failed=%d retried=%d recomputed=%d speculative=%d"
+            % (
+                total.tasks_failed,
+                total.tasks_retried,
+                total.partitions_recomputed,
+                total.speculative_launches,
+            )
+        )
     if args.trace:
         print("trace written to %s" % args.trace)
     return 0
@@ -159,7 +176,13 @@ def cmd_assess(args) -> int:
         "snowflake": LubmGenerator.query_snowflake(),
         "complex": LubmGenerator.query_complex(),
     }
-    bench = BenchRun(graph, parallelism=args.parallelism)
+    bench = BenchRun(
+        graph,
+        parallelism=args.parallelism,
+        faults=args.faults,
+        max_task_attempts=args.max_task_attempts,
+        speculation=args.speculation,
+    )
     results = bench.run(
         (NaiveEngine,) + ALL_ENGINE_CLASSES, queries, trace=bool(args.trace)
     )
@@ -210,6 +233,29 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection knobs shared by ``query`` and ``assess``."""
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject a deterministic fault schedule, e.g. "
+        "'fail:p=0.2;lose:p=0.5;straggle:p=0.1,delay=3;seed=7' "
+        "(see docs/FAULTS.md for the grammar)",
+    )
+    parser.add_argument(
+        "--max-task-attempts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="retries before a failing task aborts the run (default 4)",
+    )
+    parser.add_argument(
+        "--speculation",
+        action="store_true",
+        help="launch speculative backup copies for straggling tasks",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -236,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the execution trace (JSON span tree) to FILE",
     )
+    _add_fault_arguments(query)
 
     explain = sub.add_parser(
         "explain",
@@ -260,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write every run's execution trace (JSON) to FILE",
     )
+    _add_fault_arguments(assess)
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to N-Triples"
@@ -285,6 +333,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except FaultSpecError as exc:
+        print("error: invalid --faults spec: %s" % exc, file=sys.stderr)
+        return 2
+    except TaskFailedError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        print(
+            "the fault schedule exhausted --max-task-attempts; raise the "
+            "limit or relax --faults",
+            file=sys.stderr,
+        )
+        return 3
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         try:

@@ -17,6 +17,12 @@ interacts with query shape.
 from repro.spark.broadcast import Broadcast
 from repro.spark.context import SparkContext
 from repro.spark.dataframe import DataFrame
+from repro.spark.faults import (
+    FaultRule,
+    FaultScheduler,
+    FaultSpecError,
+    TaskFailedError,
+)
 from repro.spark.metrics import MetricsCollector, MetricsSnapshot
 from repro.spark.partitioner import (
     HashPartitioner,
@@ -38,6 +44,9 @@ from repro.spark.tracing import (
 __all__ = [
     "Broadcast",
     "DataFrame",
+    "FaultRule",
+    "FaultScheduler",
+    "FaultSpecError",
     "HashPartitioner",
     "MetricsCollector",
     "MetricsSnapshot",
@@ -48,6 +57,7 @@ __all__ = [
     "Span",
     "SparkContext",
     "SparkSession",
+    "TaskFailedError",
     "Tracer",
     "render_trace",
     "trace_from_json",

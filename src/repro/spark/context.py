@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, List, Optional, Union
 
 from repro.spark.broadcast import Broadcast
+from repro.spark.faults import FaultScheduler, as_fault_scheduler
 from repro.spark.metrics import MetricsCollector
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import ParallelCollectionRDD, PrePartitionedRDD, RDD
@@ -22,10 +23,28 @@ class SparkContext:
         How many virtual machines partitions are spread over.  Partition
         *i* lives on executor ``i % num_executors``; shuffle records that
         change executor are charged as remote traffic.
+    faults:
+        Optional adversarial schedule: a
+        :class:`~repro.spark.faults.FaultScheduler` or a spec string
+        (``"fail:p=0.2;lose:p=0.5;seed=7"``) injecting task failures,
+        partition-loss events, and stragglers.  ``None`` (the default)
+        keeps the perfect-cluster behaviour.
+    max_task_attempts:
+        How many times a task may run before a persistent failure raises
+        :class:`~repro.spark.faults.TaskFailedError` (Spark's
+        ``spark.task.maxFailures``, default 4).
+    speculation:
+        When true, straggling tasks launch a speculative backup copy
+        (charged as an extra task plus ``speculative_launches``).
     """
 
     def __init__(
-        self, default_parallelism: int = 4, num_executors: Optional[int] = None
+        self,
+        default_parallelism: int = 4,
+        num_executors: Optional[int] = None,
+        faults: Union[None, str, FaultScheduler] = None,
+        max_task_attempts: int = 4,
+        speculation: bool = False,
     ) -> None:
         if default_parallelism <= 0:
             raise ValueError("default_parallelism must be positive")
@@ -35,9 +54,18 @@ class SparkContext:
         )
         if self.num_executors <= 0:
             raise ValueError("num_executors must be positive")
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
         self.metrics = MetricsCollector()
         #: Span recorder for per-stage cost attribution; disabled by default.
         self.tracer = Tracer(self.metrics)
+        #: Fault schedule applied to every task of this context, or None.
+        self.faults = as_fault_scheduler(faults)
+        self.max_task_attempts = max_task_attempts
+        self.speculation = speculation
+        #: True while a lost partition is being rebuilt (guards nested
+        #: recovery from double-charging ``recompute_comparisons``).
+        self._recovering = False
         self._rdd_counter = 0
         self._broadcast_counter = 0
 

@@ -101,6 +101,26 @@ class MetricsSnapshot:
     def tasks(self) -> int:
         return self["tasks"]
 
+    @property
+    def tasks_failed(self) -> int:
+        return self["tasks_failed"]
+
+    @property
+    def tasks_retried(self) -> int:
+        return self["tasks_retried"]
+
+    @property
+    def partitions_recomputed(self) -> int:
+        return self["partitions_recomputed"]
+
+    @property
+    def recompute_comparisons(self) -> int:
+        return self["recompute_comparisons"]
+
+    @property
+    def speculative_launches(self) -> int:
+        return self["speculative_launches"]
+
     def locality_fraction(self) -> float:
         """Fraction of shuffled records that stayed on their executor."""
         total = self.shuffle_records
@@ -128,6 +148,15 @@ class MetricsCollector:
         Data shipped to every executor by broadcast variables.
     ``partitions_scanned``
         Partitions touched by scans (vertical partitioning benchmarks).
+    ``tasks_failed`` / ``tasks_retried``
+        Injected task failures and the retries recovering from them.
+    ``partitions_recomputed`` / ``recompute_comparisons``
+        Cached partitions lost to injected faults and rebuilt from
+        lineage, and the tasks re-executed to rebuild them (the recovery
+        bill, proportional to uncached lineage depth).
+    ``stragglers`` / ``straggler_delay_units`` / ``speculative_launches``
+        Injected slow tasks, their simulated delay, and speculative
+        backup copies launched when speculation is enabled.
     """
 
     def __init__(self) -> None:
@@ -174,3 +203,26 @@ class MetricsCollector:
         self.incr("broadcast_count")
         self.incr("broadcast_records", records)
         self.incr("broadcast_bytes", nbytes)
+
+    # -- fault injection & recovery ------------------------------------
+
+    def record_task_failure(self) -> None:
+        self.incr("tasks_failed")
+
+    def record_retry(self) -> None:
+        self.incr("tasks_retried")
+
+    def record_partition_recomputed(self) -> None:
+        self.incr("partitions_recomputed")
+
+    def record_recompute_work(self, tasks: int) -> None:
+        self.incr("recompute_comparisons", tasks)
+
+    def record_straggler(self, delay_units: int) -> None:
+        self.incr("stragglers")
+        self.incr("straggler_delay_units", delay_units)
+
+    def record_speculative(self) -> None:
+        """A speculative backup copy: its launch and its (duplicated) task."""
+        self.incr("speculative_launches")
+        self.incr("tasks")

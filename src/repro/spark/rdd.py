@@ -27,6 +27,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.spark.faults import TaskFailedError
 from repro.spark.metrics import estimate_size
 from repro.spark.partitioner import HashPartitioner, Partitioner, RangePartitioner
 
@@ -35,6 +36,34 @@ U = TypeVar("U")
 K = TypeVar("K")
 V = TypeVar("V")
 W = TypeVar("W")
+
+
+def _fault_event(
+    ctx, name: str, stage: int, partition: int, charge, **attrs: Any
+) -> None:
+    """Charge one injected-fault's counters, inside a ``fault`` span when
+    the tracer is on (so recovery costs stay conserved in the trace)."""
+    if ctx.tracer.enabled:
+        with ctx.tracer.span(
+            "fault", name=name, stage=stage, partition=partition, **attrs
+        ):
+            charge()
+    else:
+        charge()
+
+
+def _retry_event(ctx, stage: int, partition: int, attempt: int) -> None:
+    """Charge one task retry, inside a ``retry`` span when tracing."""
+    if ctx.tracer.enabled:
+        with ctx.tracer.span(
+            "retry",
+            name="attempt%d" % attempt,
+            stage=stage,
+            partition=partition,
+        ):
+            ctx.metrics.record_retry()
+    else:
+        ctx.metrics.record_retry()
 
 
 class RDD:
@@ -60,6 +89,7 @@ class RDD:
         self.partitioner = partitioner
         self._cached: Optional[Dict[int, List[Any]]] = None
         self._cache_requested = False
+        self._checkpoint_requested = False
         self.id = ctx._next_rdd_id()
 
     # ------------------------------------------------------------------
@@ -75,17 +105,120 @@ class RDD:
 
         Caching is per partition on first computation, like Spark: once a
         partition of a cached RDD has been computed (by any descendant),
-        it is never recomputed.
+        it is never recomputed.  When the context carries a
+        :class:`~repro.spark.faults.FaultScheduler`, cached reads may
+        suffer partition-loss events (rebuilt from lineage) and task runs
+        may fail or straggle (retried/speculated); see :meth:`_run_task`.
         """
         if self._cached is not None and index in self._cached:
+            faults = self.ctx.faults
+            if (
+                faults is not None
+                and faults.active
+                and not self._checkpoint_requested
+                and faults.decide_loss(self.id, index)
+            ):
+                self._recover_lost_partition(index)
             return self._cached[index]
-        self.ctx.metrics.record_task()
-        data = self.compute(index)
+        data = self._run_task(index)
         if self._cache_requested:
             if self._cached is None:
                 self._cached = {}
             self._cached[index] = data
         return data
+
+    def _run_task(self, index: int) -> List[Any]:
+        """Execute the task computing partition *index* under the fault
+        schedule: injected failures are retried up to the context's
+        ``max_task_attempts`` (then :class:`TaskFailedError`), stragglers
+        charge delay and may launch a speculative backup copy.
+
+        Failed attempts do not charge ``tasks`` -- that counter keeps
+        meaning *successful* partition computations; the damage shows up
+        in ``tasks_failed``/``tasks_retried`` instead.
+        """
+        ctx = self.ctx
+        faults = ctx.faults
+        if faults is None or not faults.active:
+            ctx.metrics.record_task()
+            return self.compute(index)
+        attempt = 1
+        while True:
+            rule = faults.decide_task(self.id, index, attempt)
+            if rule is not None and rule.kind == "fail":
+                _fault_event(
+                    ctx,
+                    "fail",
+                    self.id,
+                    index,
+                    ctx.metrics.record_task_failure,
+                    attempt=attempt,
+                )
+                if attempt >= ctx.max_task_attempts:
+                    raise TaskFailedError(self.id, index, attempt)
+                _retry_event(ctx, self.id, index, attempt + 1)
+                attempt += 1
+                continue
+            if rule is not None and rule.kind == "straggle":
+                delay = rule.delay
+
+                def charge_straggler(delay=delay):
+                    ctx.metrics.record_straggler(delay)
+                    if ctx.speculation:
+                        # The backup copy redoes the work; both its task
+                        # and the launch are charged.
+                        ctx.metrics.record_speculative()
+
+                _fault_event(
+                    ctx,
+                    "straggle",
+                    self.id,
+                    index,
+                    charge_straggler,
+                    attempt=attempt,
+                    delay=delay,
+                )
+            ctx.metrics.record_task()
+            return self.compute(index)
+
+    def _recover_lost_partition(self, index: int) -> None:
+        """A loss event evicted this cached partition; rebuild it from
+        lineage, charging the recovery (Spark's RDD fault tolerance)."""
+        ctx = self.ctx
+        assert self._cached is not None
+        del self._cached[index]
+        if ctx.tracer.enabled:
+            with ctx.tracer.span(
+                "fault", name="lose", stage=self.id, partition=index
+            ):
+                self._rebuild_partition(index)
+        else:
+            self._rebuild_partition(index)
+
+    def _rebuild_partition(self, index: int) -> None:
+        """Recompute one lost partition from its parents.
+
+        Only the *outermost* recovery charges ``recompute_comparisons``
+        (the tasks re-executed on its behalf), so nested losses hit while
+        walking the lineage are not double-billed.
+        """
+        ctx = self.ctx
+        ctx.metrics.record_partition_recomputed()
+        outermost = not ctx._recovering
+        if outermost:
+            ctx._recovering = True
+            tasks_before = ctx.metrics.get("tasks")
+        try:
+            data = self._run_task(index)
+        finally:
+            if outermost:
+                ctx._recovering = False
+        if outermost:
+            ctx.metrics.record_recompute_work(
+                ctx.metrics.get("tasks") - tasks_before
+            )
+        assert self._cached is not None
+        self._cached[index] = data
 
     def _materialize(self) -> List[List[Any]]:
         """Evaluate every partition (filling the cache when requested)."""
@@ -100,12 +233,32 @@ class RDD:
 
     def unpersist(self) -> "RDD":
         self._cache_requested = False
+        self._checkpoint_requested = False
         self._cached = None
         return self
 
     @property
     def is_cached(self) -> bool:
         return self._cached is not None
+
+    def checkpoint(self) -> "RDD":
+        """Persist to (simulated) reliable storage, truncating lineage.
+
+        Like :meth:`cache`, but checkpointed partitions are immune to
+        injected partition-loss events: in Spark terms they live on
+        stable storage rather than executor memory, so recovery never
+        needs to walk past them.  The lineage-depth claim in
+        ``repro.core.claims`` measures exactly this difference.
+        """
+        self._cache_requested = True
+        self._checkpoint_requested = True
+        return self
+
+    localCheckpoint = checkpoint
+
+    @property
+    def is_checkpointed(self) -> bool:
+        return self._checkpoint_requested
 
     # ------------------------------------------------------------------
     # Narrow transformations

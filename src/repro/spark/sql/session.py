@@ -23,6 +23,13 @@ class SparkSession(Catalog):
         Build sides whose estimated size (bytes) is at or below this are
         broadcast instead of shuffled; ``None`` disables automatic
         broadcasting (Spark's ``-1``).
+    faults / max_task_attempts / speculation:
+        Fault-injection knobs forwarded to the :class:`SparkContext`
+        created when ``ctx`` is omitted (see
+        :mod:`repro.spark.faults`); DataFrame and SQL execution then run
+        under the same adversarial schedule as raw RDD code.  Passing
+        them together with an explicit ``ctx`` is an error -- configure
+        the context instead.
     """
 
     def __init__(
@@ -30,8 +37,21 @@ class SparkSession(Catalog):
         ctx: Optional[SparkContext] = None,
         default_parallelism: int = 4,
         autoBroadcastJoinThreshold: Optional[int] = 10 * 1024,
+        faults=None,
+        max_task_attempts: int = 4,
+        speculation: bool = False,
     ) -> None:
-        self.ctx = ctx or SparkContext(default_parallelism)
+        if ctx is not None and faults is not None:
+            raise ValueError(
+                "pass faults either to the SparkContext or to the "
+                "SparkSession, not both"
+            )
+        self.ctx = ctx or SparkContext(
+            default_parallelism,
+            faults=faults,
+            max_task_attempts=max_task_attempts,
+            speculation=speculation,
+        )
         self.autoBroadcastJoinThreshold = autoBroadcastJoinThreshold
         self._tables: Dict[str, DataFrame] = {}
 

@@ -42,6 +42,13 @@ Span kinds emitted by the substrate and the shared driver:
     One per broadcast variable shipped.
 ``join`` (name ``broadcast``/``partitioned``)
     DataFrame join strategy selection.
+``fault``
+    One injected fault event (name ``fail``/``lose``/``straggle``; attrs
+    carry stage/partition/attempt).  A ``lose`` span *contains* the
+    lineage recomputation it triggered, so recovery cost is attributed
+    to the failure that caused it.
+``retry``
+    One task re-launch after an injected failure (name ``attemptN``).
 """
 
 from __future__ import annotations
@@ -302,6 +309,11 @@ _DISPLAY_COUNTERS = (
     ("join_output_records", "out"),
     ("broadcast_bytes", "bcastB"),
     ("tasks", "tasks"),
+    ("tasks_failed", "failed"),
+    ("tasks_retried", "retried"),
+    ("partitions_recomputed", "recomp"),
+    ("recompute_comparisons", "recompT"),
+    ("speculative_launches", "spec"),
 )
 
 

@@ -25,6 +25,7 @@ from repro.core.dimensions import (
 from repro.rdf.graph import RDFGraph
 from repro.rdf.terms import Term
 from repro.spark.context import SparkContext
+from repro.spark.faults import TaskFailedError
 from repro.spark.rdd import RDD
 from repro.sparql.algebra import (
     AlgebraFilter,
@@ -214,6 +215,13 @@ class SparkRdfEngine:
         :class:`~repro.rdf.graph.RDFGraph` (Section II-B's output types).
         The WHERE clause always evaluates distributedly through the
         engine's own machinery.
+
+        When the context carries a fault schedule, recovery (task retry,
+        lineage recomputation, speculation) is transparent: answers are
+        identical to the fault-free run.  Only a schedule that exhausts
+        ``max_task_attempts`` escapes, as a
+        :class:`~repro.spark.faults.TaskFailedError` tagged with this
+        engine's name.
         """
         if isinstance(query, str):
             query = parse_sparql(query)
@@ -229,15 +237,20 @@ class SparkRdfEngine:
                     sorted(missing),
                 )
             )
-        tracer = self.ctx.tracer
-        if not tracer.enabled:
-            return self._execute_parsed(query)
-        with tracer.span(
-            "query",
-            name=type(query).__name__.replace("Query", "").lower(),
-            engine=self.profile.name,
-        ):
-            return self._execute_parsed(query)
+        try:
+            tracer = self.ctx.tracer
+            if not tracer.enabled:
+                return self._execute_parsed(query)
+            with tracer.span(
+                "query",
+                name=type(query).__name__.replace("Query", "").lower(),
+                engine=self.profile.name,
+            ):
+                return self._execute_parsed(query)
+        except TaskFailedError as exc:
+            if exc.engine is None:
+                exc.engine = self.profile.name
+            raise
 
     def _execute_parsed(self, query: Query):
         """Run an already parsed, supported query (the body of execute)."""

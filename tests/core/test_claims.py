@@ -10,9 +10,9 @@ def results():
     return build_default_assessment().run()
 
 
-def test_nine_claims_registered():
+def test_ten_claims_registered():
     assessment = build_default_assessment()
-    assert len(assessment.claims()) == 9
+    assert len(assessment.claims()) == 10
 
 
 def test_every_claim_holds(results):

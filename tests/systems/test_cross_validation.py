@@ -84,6 +84,7 @@ GENERATED_SHAPES = [
 ]
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("engine_class", ENGINES, ids=engine_id)
 @pytest.mark.parametrize(
     "shape", GENERATED_SHAPES, ids=lambda s: s.value
@@ -114,6 +115,7 @@ def test_unknown_constant_query(engine_class, lubm_engines, lubm_graph):
     check(lubm_engines[engine_class], lubm_graph, query)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("engine_class", ENGINES, ids=engine_id)
 def test_fully_ground_pattern(engine_class, lubm_engines, lubm_graph):
     some_triple = next(iter(lubm_graph))

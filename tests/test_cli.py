@@ -118,6 +118,56 @@ class TestCli:
         )
         assert len(load_graph(str(path))) == 1
 
+    def test_query_recovers_under_fault_schedule(self, data_file, capsys):
+        query = (
+            "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+            "SELECT DISTINCT ?d WHERE { ?s lubm:memberOf ?d }"
+        )
+        assert main(["query", data_file, query]) == 0
+        clean = capsys.readouterr().out
+        assert main(
+            [
+                "query", data_file, query,
+                "--faults", "fail:p=0.3;seed=7",
+                "--max-task-attempts", "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovery: failed=" in out
+        failed = int(out.split("recovery: failed=")[1].split()[0])
+        assert failed > 0
+        # identical solutions, fault schedule or not
+        assert out.split("cost:")[0] == clean.split("cost:")[0]
+
+    def test_exhausted_attempts_exit_nonzero_with_readable_message(
+        self, data_file, capsys
+    ):
+        code = main(
+            [
+                "query", data_file, "SELECT ?s WHERE { ?s ?p ?o }",
+                "--faults", "fail:p=1",
+                "--max-task-attempts", "2",
+            ]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "task failed permanently" in err
+        assert "stage=" in err and "partition=" in err
+        assert "2 attempt(s)" in err
+        assert "--max-task-attempts" in err  # tells the user the way out
+
+    def test_invalid_fault_spec_exits_nonzero(self, data_file, capsys):
+        code = main(
+            [
+                "query", data_file, "SELECT ?s WHERE { ?s ?p ?o }",
+                "--faults", "explode:p=1",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid --faults spec" in err
+        assert "explode" in err
+
     def test_assess_small(self, tmp_path, capsys):
         from repro.data.lubm import LubmGenerator as Gen
         from repro.rdf.ntriples import save_ntriples_file
@@ -134,3 +184,25 @@ class TestCli:
         assert main(["assess", str(path), "--parallelism", "2"]) == 0
         out = capsys.readouterr().out
         assert "SPARQLGX" in out and "WRONG" not in out
+
+    def test_assess_under_fault_schedule_stays_correct(self, tmp_path, capsys):
+        from repro.data.lubm import LubmGenerator as Gen
+        from repro.rdf.ntriples import save_ntriples_file
+
+        graph = Gen(
+            num_universities=1,
+            departments_per_university=1,
+            professors_per_department=2,
+            students_per_department=4,
+            courses_per_department=3,
+        ).generate()
+        path = tmp_path / "tiny.nt"
+        save_ntriples_file(str(path), graph)
+        assert main(
+            [
+                "assess", str(path), "--parallelism", "2",
+                "--faults", "fail:p=0.3;lose:p=0.4;seed=7",
+                "--max-task-attempts", "12",
+            ]
+        ) == 0
+        assert "WRONG" not in capsys.readouterr().out

@@ -2,6 +2,7 @@
 error type -- never crash with an unrelated exception.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.rdf.ntriples import NTriplesParseError, parse_ntriples
@@ -10,6 +11,10 @@ from repro.spark.sql.lexer import SqlSyntaxError
 from repro.spark.sql.parser import parse_sql
 from repro.sparql.parser import parse_sparql
 from repro.sparql.tokenizer import SparqlParseError
+
+# Hundreds of hypothesis examples per parser: correctness net for local
+# runs, dead weight on every CI push.
+pytestmark = pytest.mark.slow
 
 # Text biased toward query-looking garbage: keywords, braces, names.
 _fragments = st.sampled_from(
