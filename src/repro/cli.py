@@ -19,6 +19,17 @@ Commands
     Run the cross-system assessment matrix on an RDF file.
 ``generate {lubm,watdiv} PATH``
     Write a synthetic dataset to an N-Triples file.
+``serve DATA [--engine NAME] [--pool N] [--input FILE]``
+    Run the query service as a JSON-lines request loop (stdin by
+    default): plan/result caching, graph-version commits, per-query
+    cost-unit deadlines.  See docs/SERVER.md for the protocol.
+``loadtest DATA [--clients N] [--seed N] [--report FILE] [--smoke]``
+    Drive the service with the closed-loop load generator and print the
+    byte-reproducible throughput/latency/cache report.
+
+Exit codes: 2 for unusable inputs (bad ``--faults`` spec, unknown engine
+or unreadable data file on ``serve``/``loadtest``), 3 when a fault
+schedule exhausts ``--max-task-attempts``.
 """
 
 from __future__ import annotations
@@ -37,30 +48,25 @@ from repro.core import (
 from repro.core.survey import render_survey
 from repro.data.lubm import LubmGenerator
 from repro.data.watdiv import WatdivGenerator
-from repro.rdf.graph import RDFGraph
-from repro.rdf.ntriples import load_ntriples_file, save_ntriples_file
-from repro.rdf.turtle import parse_turtle
+from repro.rdf.ntriples import save_ntriples_file
+from repro.runtime import (
+    RuntimeConfigError,
+    UnknownEngineError,
+    load_graph,
+    resolve_engine,
+)
 from repro.spark.context import SparkContext
 from repro.spark.faults import FaultSpecError, TaskFailedError
 from repro.sparql.results import SolutionSet
 from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
 
 
-def load_graph(path: str) -> RDFGraph:
-    """Load an RDF file by extension (.nt or .ttl)."""
-    if path.endswith((".ttl", ".turtle")):
-        with open(path, "r", encoding="utf-8") as handle:
-            return parse_turtle(handle.read())
-    return load_ntriples_file(path)
-
-
 def _engine_class(name: str):
-    from repro.explain import engine_class
-
+    """Engine class for the legacy subcommands (SystemExit on junk)."""
     try:
-        return engine_class(name)
-    except KeyError as exc:
-        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+        return resolve_engine(name)
+    except UnknownEngineError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_tables(_args) -> int:
@@ -217,6 +223,93 @@ def cmd_assess(args) -> int:
     return 1 if bench.incorrect() else 0
 
 
+def _build_service(args):
+    """Construct the QueryService every serving subcommand shares."""
+    from repro.server import QueryService
+
+    graph = load_graph(args.data)
+    return QueryService(
+        graph,
+        engine=args.engine,
+        pool_size=args.pool,
+        parallelism=args.parallelism,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        enable_plan_cache=not args.no_plan_cache,
+        enable_result_cache=not args.no_result_cache,
+        faults=args.faults,
+        max_task_attempts=args.max_task_attempts,
+        speculation=args.speculation,
+    )
+
+
+def cmd_serve(args) -> int:
+    from repro.server import serve_lines
+
+    service = _build_service(args)
+    if args.input:
+        try:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                processed = serve_lines(service, handle, sys.stdout)
+        except OSError as exc:
+            print(
+                "error: cannot read request file: %s" % exc, file=sys.stderr
+            )
+            return 2
+    else:
+        processed = serve_lines(service, sys.stdin, sys.stdout)
+    print(
+        "served %d request(s) on %s (version %d)"
+        % (processed, service.engine_name, service.version),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    from repro.server import LoadGenerator, build_workload
+
+    if args.smoke:
+        args.clients = min(args.clients, 4)
+        args.requests = min(args.requests, 2)
+        args.queries = min(args.queries, 4)
+    service = _build_service(args)
+    workload = build_workload(
+        service.versions.head(), size=args.queries, seed=args.seed
+    )
+    generator = LoadGenerator(
+        service,
+        workload,
+        clients=args.clients,
+        tenants=args.tenants,
+        requests_per_client=args.requests,
+        think_units=args.think,
+        seed=args.seed,
+        deadline=args.deadline,
+    )
+    report = generator.run()
+    payload = report.to_payload()
+    rows = [
+        ["submitted", payload["totals"]["submitted"]],
+        ["completed", payload["totals"]["completed"]],
+        ["ok", payload["totals"]["ok"]],
+        ["rejected", payload["totals"]["rejected"]],
+        ["deadline aborts", payload["totals"]["deadline_aborts"]],
+        ["p50 latency (units)", payload["latency_units"]["p50"]],
+        ["p95 latency (units)", payload["latency_units"]["p95"]],
+        ["p99 latency (units)", payload["latency_units"]["p99"]],
+        ["throughput (/kilounit)", payload["throughput_per_kilounit"]],
+        ["result-cache hit rate", payload["cache"]["result_hit_rate"]],
+        ["max queue depth", payload["queue"]["max_depth"]],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print("report written to %s" % args.report)
+    return 0
+
+
 def cmd_generate(args) -> int:
     if args.kind == "lubm":
         graph = LubmGenerator(
@@ -317,7 +410,93 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=int, default=1)
     generate.add_argument("--seed", type=int, default=42)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the query service over JSON-lines requests "
+        "(see docs/SERVER.md)",
+    )
+    serve.add_argument("data", help="RDF file (.nt or .ttl)")
+    serve.add_argument(
+        "--input",
+        metavar="FILE",
+        help="read request lines from FILE instead of stdin",
+    )
+    _add_service_arguments(serve)
+    _add_fault_arguments(serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive the service with the closed-loop load generator",
+    )
+    loadtest.add_argument("data", help="RDF file (.nt or .ttl)")
+    loadtest.add_argument(
+        "--clients", type=int, default=8, help="closed-loop clients"
+    )
+    loadtest.add_argument(
+        "--tenants", type=int, default=2, help="tenants clients spread over"
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=8, help="requests per client"
+    )
+    loadtest.add_argument(
+        "--queries", type=int, default=6, help="distinct workload queries"
+    )
+    loadtest.add_argument(
+        "--think",
+        type=int,
+        default=50,
+        metavar="UNITS",
+        help="max client think time between requests (cost units)",
+    )
+    loadtest.add_argument("--seed", type=int, default=42)
+    loadtest.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the full JSON report (BENCH_server.json style) to FILE",
+    )
+    loadtest.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fixed-size run for CI (caps clients/requests/queries)",
+    )
+    _add_service_arguments(loadtest)
+    _add_fault_arguments(loadtest)
+
     return parser
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Service knobs shared by ``serve`` and ``loadtest``."""
+    parser.add_argument(
+        "--engine", default="SPARQLGX", help="engine name (default SPARQLGX)"
+    )
+    parser.add_argument("--parallelism", type=int, default=4)
+    parser.add_argument(
+        "--pool", type=int, default=2, help="warmed engine instances"
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="bounded admission queue length (beyond it: rejection)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="default per-query deadline in cost units (default: none)",
+    )
+    parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable the parsed-plan cache",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the version-keyed result cache",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -330,11 +509,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": cmd_explain,
         "assess": cmd_assess,
         "generate": cmd_generate,
+        "serve": cmd_serve,
+        "loadtest": cmd_loadtest,
     }
     try:
         return handlers[args.command](args)
     except FaultSpecError as exc:
         print("error: invalid --faults spec: %s" % exc, file=sys.stderr)
+        return 2
+    except RuntimeConfigError as exc:
+        print("error: %s" % exc, file=sys.stderr)
         return 2
     except TaskFailedError as exc:
         print("error: %s" % exc, file=sys.stderr)

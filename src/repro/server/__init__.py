@@ -1,0 +1,58 @@
+"""The concurrent SPARQL query service (see docs/SERVER.md).
+
+Converts the batch-shaped reproduction into a serving system: a
+:class:`~repro.server.service.QueryService` owns a pool of warmed
+engines behind a plan cache, a version-keyed result cache, bounded-queue
+admission control with per-tenant fair share, and per-query cost-unit
+deadlines.  :mod:`repro.server.loadgen` drives it closed-loop over
+deterministic virtual time; :mod:`repro.server.frontend` exposes it as a
+JSON-lines request loop (``repro serve``).
+"""
+
+from repro.server.admission import AdmissionRejectedError, FairShareQueue
+from repro.server.cache import PlanCache, ResultCache, normalize_query
+from repro.server.frontend import handle_request, serve_lines
+from repro.server.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    build_workload,
+    percentile,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    canonical_json,
+    canonical_result,
+    decode_request,
+    encode_response,
+)
+from repro.server.service import (
+    CACHE_HIT_UNITS,
+    QueryOutcome,
+    QueryRequest,
+    QueryService,
+)
+
+__all__ = [
+    "AdmissionRejectedError",
+    "CACHE_HIT_UNITS",
+    "FairShareQueue",
+    "LoadGenerator",
+    "LoadReport",
+    "PROTOCOL_VERSION",
+    "PlanCache",
+    "ProtocolError",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryService",
+    "ResultCache",
+    "build_workload",
+    "canonical_json",
+    "canonical_result",
+    "decode_request",
+    "encode_response",
+    "handle_request",
+    "normalize_query",
+    "percentile",
+    "serve_lines",
+]

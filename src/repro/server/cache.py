@@ -1,0 +1,167 @@
+"""The service's two cache tiers: parsed plans and serialized results.
+
+Both tiers key on *normalized* query text (:func:`normalize_query`), so
+cosmetic differences -- whitespace, comments, trailing dots -- share one
+entry, the way S2RDF's precomputed ExtVP tables let repeated query
+shapes reuse work regardless of how the text was formatted.
+
+* :class:`PlanCache` maps normalized text to the parsed
+  :class:`~repro.sparql.ast.Query`.  Parsed queries are immutable in
+  practice (the engines never mutate them), so sharing is safe; a hit
+  skips tokenizing + parsing entirely.
+* :class:`ResultCache` is a bounded LRU mapping
+  ``(normalized text, graph version, engine name)`` to the *canonical
+  serialized bytes* of the answer.  Storing bytes rather than live
+  objects is what makes the byte-identity guarantee trivial: a hit
+  returns exactly what the cold execution serialized.  The graph version
+  in the key means a version bump can never serve stale answers even
+  before :meth:`ResultCache.invalidate_below` actively drops the dead
+  entries.
+
+Determinism: both caches are plain ``OrderedDict`` structures driven
+only by request order -- no clocks, no hashes beyond Python string
+hashing (used only for lookup, never for iteration order).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.sparql.ast import Query
+from repro.sparql.parser import parse_sparql
+
+
+def normalize_query(text: str) -> str:
+    """Canonical form of a SPARQL query's text, for cache keying.
+
+    Strips comments (``#`` to end of line, except inside IRI ``<...>``
+    brackets and string literals) and collapses every whitespace run to
+    a single space.  This is *textual* normalization only -- two
+    semantically equal but differently written queries stay distinct
+    keys, which is the conservative (never-wrong) choice.
+    """
+    out = []
+    in_iri = False
+    quote: Optional[str] = None
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if quote is not None:
+            out.append(ch)
+            if ch == "\\" and i + 1 < n:
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+            i += 1
+            continue
+        if in_iri:
+            out.append(ch)
+            if ch == ">":
+                in_iri = False
+            i += 1
+            continue
+        if ch == "<":
+            in_iri = True
+            out.append(ch)
+        elif ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        else:
+            out.append(ch)
+        i += 1
+    return " ".join("".join(out).split())
+
+
+class PlanCache:
+    """Bounded LRU of parsed queries keyed on normalized text.
+
+    ``get_or_parse`` is the only entry point; it reports hit/miss to the
+    *metrics* collector passed by the service (kept out of the cache's
+    constructor so the cache is reusable without a service).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._plans: "OrderedDict[str, Query]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get_or_parse(self, normalized: str, metrics=None) -> Tuple[Query, bool]:
+        """(parsed query, was_hit) for one normalized query text."""
+        plan = self._plans.get(normalized)
+        hit = plan is not None
+        if hit:
+            self._plans.move_to_end(normalized)
+        else:
+            plan = parse_sparql(normalized)
+            self._plans[normalized] = plan
+            if len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+        if metrics is not None:
+            metrics.record_plan_cache(hit)
+        return plan, hit
+
+
+#: A result-cache key: (normalized query text, graph version, engine name).
+ResultKey = Tuple[str, int, str]
+
+
+class ResultCache:
+    """Bounded LRU of canonical result bytes, version-aware.
+
+    Entries are the exact serialized bytes a cold execution produced
+    (see :mod:`repro.server.protocol`); the graph version in the key
+    guarantees freshness, and :meth:`invalidate_below` reclaims entries
+    stranded by a version bump.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("result cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[ResultKey, str]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: ResultKey, metrics=None) -> Optional[str]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        if metrics is not None:
+            metrics.record_result_cache(entry is not None)
+        return entry
+
+    def put(self, key: ResultKey, payload: str, metrics=None) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            if metrics is not None:
+                metrics.record_result_eviction()
+
+    def invalidate_below(self, version: int, metrics=None) -> int:
+        """Drop every entry for a graph version older than *version*.
+
+        Returns the number of entries dropped (also reported to the
+        collector as ``result_cache_invalidations``).
+        """
+        dead = [key for key in self._entries if key[1] < version]
+        for key in dead:
+            del self._entries[key]
+        if metrics is not None and dead:
+            metrics.record_result_invalidations(len(dead))
+        return len(dead)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,406 @@
+"""Closed-loop load generation over deterministic virtual time.
+
+The generator models the classic closed-loop client population: each of
+``clients`` simulated clients submits a query, waits for its completion,
+thinks for a seeded think time, and submits the next -- ``requests_per_client``
+times.  Clients are spread round-robin over ``tenants`` tenants, so the
+fair-share scheduler has real contention to arbitrate.
+
+Time is *virtual*: the unit is the cost unit of
+:mod:`repro.spark.deadline` (one task, one scanned record, one shuffled
+record, one join comparison each cost one unit).  A request's service
+time is the cost its actual execution charges (cache hits cost
+:data:`~repro.server.service.CACHE_HIT_UNITS`); its latency is queue
+wait plus service time.  Because arrivals, scheduling, execution, and
+accounting are all pure functions of the seed and the graph, the whole
+report -- throughput, p50/p95/p99, hit rates, rejections -- is
+byte-reproducible across runs (asserted in
+``tests/server/test_loadgen.py``).
+
+The simulation is discrete-event: a heap of (time, seq) events where
+``seq`` is allocation order, so simultaneous events resolve
+deterministically.  Two event kinds:
+
+* **arrival** -- a client submits.  A free pool worker dispatches it
+  immediately; otherwise admission control either queues it or rejects
+  it (:class:`~repro.server.admission.AdmissionRejectedError`), in which
+  case the client backs off (a think time) and moves on to its next
+  request.
+* **completion** -- a worker frees.  The finished client schedules its
+  next arrival after a think time, and the fair-share queue picks the
+  next waiting request for the freed worker.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.server.admission import AdmissionRejectedError
+from repro.server.service import QueryOutcome, QueryRequest, QueryService
+
+#: Report format version (bumped on incompatible layout changes).
+REPORT_FORMAT_VERSION = 1
+
+
+def percentile(values: Sequence[int], p: float) -> int:
+    """Nearest-rank percentile of integer samples (0 for no samples)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    if p <= 0:
+        return ordered[0]
+    rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil(p*n/100), >= 1
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """The artifact one load-generation run produces."""
+
+    config: Dict[str, Any]
+    submitted: int = 0
+    completed: int = 0
+    ok: int = 0
+    rejected: int = 0
+    deadline_aborts: int = 0
+    errors: int = 0
+    duration_units: int = 0
+    latencies: List[int] = field(default_factory=list)
+    waits: List[int] = field(default_factory=list)
+    max_queue_depth: int = 0
+    per_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+    def throughput_per_kilounit(self) -> float:
+        if self.duration_units == 0:
+            return 0.0
+        return round(1000.0 * self.completed / self.duration_units, 6)
+
+    def to_payload(self) -> Dict[str, Any]:
+        latencies = self.latencies
+        waits = self.waits
+        mean_latency = (
+            round(sum(latencies) / len(latencies), 6) if latencies else 0.0
+        )
+        mean_wait = round(sum(waits) / len(waits), 6) if waits else 0.0
+        return {
+            "version": REPORT_FORMAT_VERSION,
+            "config": dict(self.config),
+            "totals": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "ok": self.ok,
+                "rejected": self.rejected,
+                "deadline_aborts": self.deadline_aborts,
+                "errors": self.errors,
+            },
+            "virtual_duration_units": self.duration_units,
+            "throughput_per_kilounit": self.throughput_per_kilounit(),
+            "latency_units": {
+                "p50": percentile(latencies, 50),
+                "p95": percentile(latencies, 95),
+                "p99": percentile(latencies, 99),
+                "mean": mean_latency,
+                "max": max(latencies) if latencies else 0,
+            },
+            "queue": {
+                "max_depth": self.max_queue_depth,
+                "mean_wait_units": mean_wait,
+            },
+            "cache": dict(self.cache),
+            "tenants": {k: dict(v) for k, v in sorted(self.per_tenant.items())},
+        }
+
+    def to_json(self) -> str:
+        """Pretty, byte-stable JSON (the ``BENCH_server.json`` body)."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+
+def build_workload(
+    graph, size: int = 6, seed: int = 42
+) -> List[Tuple[str, str]]:
+    """A deterministic (name, query text) workload drawn from *graph*.
+
+    Mixes single-pattern scans, subject stars, and two-hop paths built
+    from the graph's own predicates, so every query has answers.  The
+    workload is textual (the service boundary speaks SPARQL text), and
+    the draw is seeded, so the same (graph, size, seed) always produces
+    the same workload -- a precondition for byte-reproducible reports.
+    """
+    rng = random.Random(seed)
+    predicates = sorted(
+        {t.predicate for t in graph}, key=lambda term: term.sort_key()
+    )
+    if not predicates:
+        raise ValueError("graph has no triples to build a workload from")
+    # Subject stars: subjects carrying at least two distinct predicates.
+    star_subjects = []
+    for subject in sorted(graph.subjects(), key=lambda t: t.sort_key()):
+        preds = sorted(
+            {t.predicate for t in graph.triples((subject, None, None))},
+            key=lambda t: t.sort_key(),
+        )
+        if len(preds) >= 2:
+            star_subjects.append(preds)
+    # Two-hop paths: predicate pairs (p, q) where some object of p is a
+    # subject of q.
+    subjects = set(graph.subjects())
+    path_pairs = []
+    for p in predicates:
+        bridging = [
+            t.object for t in graph.triples((None, p, None))
+            if t.object in subjects
+        ]
+        if not bridging:
+            continue
+        follow = sorted(
+            {
+                t.predicate
+                for node in bridging
+                for t in graph.triples((node, None, None))
+            },
+            key=lambda t: t.sort_key(),
+        )
+        for q in follow:
+            path_pairs.append((p, q))
+    workload: List[Tuple[str, str]] = []
+    for index in range(size):
+        kind = index % 3
+        if kind == 0 or (kind == 1 and not star_subjects) or (
+            kind == 2 and not path_pairs
+        ):
+            predicate = rng.choice(predicates)
+            workload.append(
+                (
+                    "single%d" % index,
+                    "SELECT ?s ?o WHERE { ?s %s ?o }" % predicate.n3(),
+                )
+            )
+        elif kind == 1:
+            preds = rng.choice(star_subjects)[:2]
+            workload.append(
+                (
+                    "star%d" % index,
+                    "SELECT ?s ?o0 ?o1 WHERE { ?s %s ?o0 . ?s %s ?o1 }"
+                    % (preds[0].n3(), preds[1].n3()),
+                )
+            )
+        else:
+            p, q = rng.choice(path_pairs)
+            workload.append(
+                (
+                    "path%d" % index,
+                    "SELECT ?a ?b ?c WHERE { ?a %s ?b . ?b %s ?c }"
+                    % (p.n3(), q.n3()),
+                )
+            )
+    return workload
+
+
+@dataclass(frozen=True)
+class _Arrival:
+    """One in-flight submission (queue entry payload)."""
+
+    request: QueryRequest
+    client: int
+    arrival_time: int
+
+
+class LoadGenerator:
+    """Drive a :class:`~repro.server.service.QueryService` closed-loop."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        workload: Sequence[Tuple[str, str]],
+        clients: int = 8,
+        tenants: int = 2,
+        requests_per_client: int = 8,
+        think_units: int = 50,
+        seed: int = 42,
+        deadline: Optional[int] = None,
+    ) -> None:
+        if not workload:
+            raise ValueError("workload must contain at least one query")
+        if clients <= 0 or requests_per_client <= 0:
+            raise ValueError("clients and requests_per_client must be positive")
+        if tenants <= 0:
+            raise ValueError("tenants must be positive")
+        self.service = service
+        self.workload = list(workload)
+        self.clients = clients
+        self.tenants = tenants
+        self.requests_per_client = requests_per_client
+        self.think_units = think_units
+        self.seed = seed
+        self.deadline = deadline
+
+    def _tenant_of(self, client: int) -> str:
+        return "tenant%d" % (client % self.tenants)
+
+    def run(self) -> LoadReport:
+        report = LoadReport(config=self._config())
+        rngs = [
+            random.Random(self.seed * 1000003 + client)
+            for client in range(self.clients)
+        ]
+        remaining = [self.requests_per_client] * self.clients
+        sent = [0] * self.clients
+        free_workers = list(range(self.service.pool_size))
+        queue = self.service.queue
+        events: List[Tuple[int, int, str, Any]] = []
+        seq = 0
+
+        def push(time: int, kind: str, data: Any) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, seq, kind, data))
+            seq += 1
+
+        def think(client: int) -> int:
+            if self.think_units <= 0:
+                return 0
+            return rngs[client].randrange(self.think_units + 1)
+
+        def next_request(client: int) -> Optional[QueryRequest]:
+            if remaining[client] <= 0:
+                return None
+            remaining[client] -= 1
+            sent[client] += 1
+            name, text = self.workload[
+                rngs[client].randrange(len(self.workload))
+            ]
+            return QueryRequest(
+                text=text,
+                tenant=self._tenant_of(client),
+                id="c%d-r%d-%s" % (client, sent[client], name),
+                deadline=self.deadline,
+            )
+
+        def record(outcome: QueryOutcome, arrival: _Arrival, now: int) -> None:
+            latency = (now - arrival.arrival_time) + outcome.service_units
+            report.completed += 1
+            report.latencies.append(latency)
+            report.waits.append(now - arrival.arrival_time)
+            tenant = report.per_tenant.setdefault(
+                outcome.tenant,
+                {"completed": 0, "service_units": 0, "rejected": 0},
+            )
+            tenant["completed"] += 1
+            tenant["service_units"] += outcome.service_units
+            if outcome.status == "ok":
+                report.ok += 1
+            elif outcome.status == "deadline":
+                report.deadline_aborts += 1
+            else:
+                report.errors += 1
+
+        def dispatch(arrival: _Arrival, worker: int, now: int) -> None:
+            outcome = self.service.execute_on(arrival.request, worker)
+            outcome.wait_units = now - arrival.arrival_time
+            queue.charge(arrival.request.tenant, outcome.service_units)
+            self.service.metrics.incr(
+                "queue_wait_units", outcome.wait_units
+            )
+            push(
+                now + outcome.service_units,
+                "completion",
+                (arrival, worker, outcome),
+            )
+
+        # Seed the population: every client's first arrival is one think
+        # time into the run (staggered deterministically per client).
+        for client in range(self.clients):
+            request = next_request(client)
+            if request is not None:
+                push(think(client), "arrival", (client, request))
+
+        now = 0
+        while events:
+            now, _, kind, data = heapq.heappop(events)
+            if kind == "arrival":
+                client, request = data
+                report.submitted += 1
+                arrival = _Arrival(request, client, now)
+                if free_workers:
+                    worker = free_workers.pop(0)
+                    self.service.metrics.record_admission(True)
+                    dispatch(arrival, worker, now)
+                else:
+                    try:
+                        queue.offer(request.tenant, arrival)
+                        self.service.metrics.record_admission(True)
+                        report.max_queue_depth = max(
+                            report.max_queue_depth, len(queue)
+                        )
+                    except AdmissionRejectedError:
+                        self.service.metrics.record_admission(False)
+                        report.rejected += 1
+                        tenant = report.per_tenant.setdefault(
+                            request.tenant,
+                            {
+                                "completed": 0,
+                                "service_units": 0,
+                                "rejected": 0,
+                            },
+                        )
+                        tenant["rejected"] += 1
+                        # The client backs off and moves to its next
+                        # request (the rejected one is lost, as reported).
+                        nxt = next_request(client)
+                        if nxt is not None:
+                            push(
+                                now + 1 + think(client),
+                                "arrival",
+                                (client, nxt),
+                            )
+            else:  # completion
+                arrival, worker, outcome = data
+                record(outcome, arrival, now)
+                nxt = next_request(arrival.client)
+                if nxt is not None:
+                    push(
+                        now + 1 + think(arrival.client),
+                        "arrival",
+                        (arrival.client, nxt),
+                    )
+                waiting = queue.take()
+                if waiting is None:
+                    free_workers.append(worker)
+                    free_workers.sort()
+                else:
+                    _tenant, queued = waiting
+                    dispatch(queued, worker, now)
+
+        report.duration_units = now
+        snapshot = self.service.snapshot()
+        hits = snapshot.result_cache_hits
+        misses = snapshot.result_cache_misses
+        report.cache = {
+            "plan_hits": snapshot.plan_cache_hits,
+            "plan_misses": snapshot.plan_cache_misses,
+            "result_hits": hits,
+            "result_misses": misses,
+            "result_hit_rate": round(snapshot.result_cache_hit_rate(), 6),
+            "result_invalidations": snapshot.result_cache_invalidations,
+        }
+        return report
+
+    def _config(self) -> Dict[str, Any]:
+        return {
+            "engine": self.service.engine_name,
+            "pool_size": self.service.pool_size,
+            "queue_limit": self.service.queue.queue_limit,
+            "plan_cache": self.service.enable_plan_cache,
+            "result_cache": self.service.enable_result_cache,
+            "clients": self.clients,
+            "tenants": self.tenants,
+            "requests_per_client": self.requests_per_client,
+            "think_units": self.think_units,
+            "seed": self.seed,
+            "deadline": self.deadline,
+            "workload": [name for name, _ in self.workload],
+        }

@@ -1,0 +1,136 @@
+"""Wire protocol: JSON-lines requests/responses and canonical results.
+
+Canonical result serialization (the service-boundary determinism fix)
+=====================================================================
+
+Engines are free to produce solutions in any order -- SPARQL's bag
+semantics does not prescribe one, and the simulated engines genuinely
+differ (hash partitioning vs vertical partitioning vs graph traversal
+emit rows in different orders).  A result *cache* that stored whatever
+order the first execution happened to produce would then return answers
+that differ from a fresh execution byte-for-byte, making cache hits
+observable and run-to-run output unstable.
+
+:func:`canonical_result` therefore defines one documented ordering at
+the service boundary:
+
+* **SELECT without ORDER BY** (and CONSTRUCT/DESCRIBE): rows are sorted
+  lexicographically by their tuple of N3-rendered terms (unbound
+  variables render as ``""`` and sort first).  N3 rendering is already
+  deterministic, so the sort is total and stable.
+* **SELECT with ORDER BY**: the query prescribed the order; the
+  serializer preserves it exactly (sorting would violate SPARQL
+  semantics).  Ties left open by ORDER BY keep the engine's order,
+  which is deterministic for a given engine and graph -- exactly what
+  the cache's byte-identity guarantee needs (it compares hits against
+  cold executions of the *same* engine).
+* **ASK**: a boolean; nothing to order.
+
+:func:`canonical_json` renders any payload with sorted keys, compact
+separators, and no trailing whitespace -- the exact bytes the result
+cache stores, so a cache hit is byte-identical to the cold execution
+that populated it (regression-tested in
+``tests/server/test_protocol.py``).
+
+Request / response lines
+========================
+
+One JSON object per line.  Requests::
+
+    {"op": "query", "id": "q1", "tenant": "t0", "query": "SELECT ...",
+     "deadline": 50000}
+    {"op": "commit", "additions": ["<s> <p> <o> ."], "deletions": []}
+    {"op": "stats"}
+
+``op`` defaults to ``query`` when omitted.  Responses echo the request
+``id`` and carry ``status`` (``ok`` / ``rejected`` / ``deadline`` /
+``error``), the canonical ``result`` for ``ok``, and accounting fields
+(``units``, ``cache``, ``version``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import Query, SelectQuery
+from repro.sparql.results import SolutionSet
+
+#: Bumped when the canonical result layout changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A request line is not a well-formed protocol object."""
+
+
+def canonical_json(payload: Any) -> str:
+    """The one true JSON rendering: sorted keys, compact, ASCII-safe."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def _row_key(row: List[str]) -> tuple:
+    return tuple(row)
+
+
+def canonical_result(
+    result: Union[SolutionSet, bool, RDFGraph],
+    query: Optional[Query] = None,
+) -> Dict[str, Any]:
+    """JSON-ready canonical form of one query answer (see module doc)."""
+    if isinstance(result, bool):
+        return {"type": "boolean", "value": result}
+    if isinstance(result, SolutionSet):
+        rows = [
+            [
+                solution.get(v).n3() if solution.get(v) is not None else ""
+                for v in result.variables
+            ]
+            for solution in result.solutions
+        ]
+        ordered = bool(
+            query is not None
+            and isinstance(query, SelectQuery)
+            and query.order_by
+        )
+        if not ordered:
+            rows.sort(key=_row_key)
+        return {
+            "type": "bindings",
+            "vars": list(result.variables),
+            "rows": rows,
+            "ordered": ordered,
+        }
+    # CONSTRUCT / DESCRIBE -> a graph; N-Triples lines, sorted.
+    return {
+        "type": "graph",
+        "triples": sorted(triple.n3() for triple in result.to_list()),
+    }
+
+
+def decode_request(line: str) -> Dict[str, Any]:
+    """Parse one request line; raises :class:`ProtocolError` on junk."""
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("request is not valid JSON: %s" % exc) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    payload.setdefault("op", "query")
+    op = payload["op"]
+    if op not in ("query", "commit", "stats"):
+        raise ProtocolError("unknown op %r" % (op,))
+    if op == "query" and not payload.get("query"):
+        raise ProtocolError("query op requires a non-empty 'query' field")
+    return payload
+
+
+def encode_response(payload: Dict[str, Any]) -> str:
+    """One canonical response line (no newline appended)."""
+    return canonical_json(payload)

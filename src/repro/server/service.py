@@ -1,0 +1,346 @@
+"""The multi-tenant query service: warm engine pool, caches, deadlines.
+
+A :class:`QueryService` converts the repository from batch-script shape
+to service shape.  Construction does everything expensive exactly once:
+the graph is wrapped in a :class:`~repro.evolution.versioned.VersionedGraph`
+(so updates are commits with version numbers), and ``pool_size`` engine
+instances are built and warmed -- each one ingests the graph, builds its
+dictionary encoding / vertical partitions / indexes, and then serves any
+number of queries.  Per-request work is only: normalize, consult the
+plan cache, consult the result cache, and (on a miss) execute with a
+cost-unit deadline armed.
+
+Request lifecycle::
+
+    submit()                 # or the load generator's simulated workers
+      normalize_query(text)
+      plan cache  -- hit: reuse parsed Query, miss: parse + insert
+      result cache (text, version, engine) -- hit: return stored bytes
+      miss: engine.execute under ctx.set_deadline(budget)
+            -> canonical_result -> canonical_json -> cache put
+      outcome: ok | deadline | unsupported | failed
+
+Graph evolution: :meth:`commit` applies a change set through the
+versioned store, bumps the version, actively invalidates stale result
+cache entries, and refreshes every pooled engine's store (warm again
+before the next query).  Because the result-cache key embeds the
+version, staleness is impossible even between the bump and the purge.
+
+Determinism: the service owns its own
+:class:`~repro.spark.metrics.MetricsCollector` and
+:class:`~repro.spark.tracing.Tracer` (span kinds ``request`` /
+``admission`` / ``plan`` / ``result`` / ``commit``); neither consults a
+clock, so a request sequence replays to byte-identical outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.evolution.versioned import VersionedGraph
+from repro.rdf.triple import Triple
+from repro.runtime import build_engine, resolve_engine
+from repro.server.admission import FairShareQueue
+from repro.server.cache import PlanCache, ResultCache, normalize_query
+from repro.server.protocol import canonical_json, canonical_result
+from repro.spark.deadline import DeadlineExceededError, cost_units
+from repro.spark.faults import FaultScheduler, TaskFailedError
+from repro.spark.metrics import MetricsCollector, MetricsSnapshot
+from repro.spark.tracing import Tracer
+from repro.systems.base import UnsupportedQueryError
+
+#: Cost units charged for answering from the result cache.  Non-zero so
+#: cache hits still consume (a sliver of) virtual time -- a served
+#: answer is never free -- but orders of magnitude below execution.
+CACHE_HIT_UNITS = 1
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query submission."""
+
+    text: str
+    tenant: str = "default"
+    id: str = ""
+    #: Cost-unit budget for this query; None uses the service default.
+    deadline: Optional[int] = None
+
+
+@dataclass
+class QueryOutcome:
+    """Everything the service knows about one finished request."""
+
+    id: str
+    tenant: str
+    status: str  # ok | deadline | rejected | unsupported | failed | error
+    #: Canonical JSON bytes of the answer (``ok`` only).
+    payload: Optional[str] = None
+    #: Which tier answered: "result" (result-cache hit), "plan"
+    #: (plan-cache hit, executed), or "cold" (parsed and executed).
+    cache: str = "cold"
+    #: Virtual service time in cost units (execution or cache charge).
+    service_units: int = 0
+    #: Virtual time spent queued (filled by the load generator).
+    wait_units: int = 0
+    version: int = 0
+    worker: int = 0
+    error: str = ""
+
+    def to_response(self) -> Dict[str, Any]:
+        """The JSON-lines response object for this outcome."""
+        response: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "cache": self.cache,
+            "units": self.service_units,
+            "version": self.version,
+        }
+        if self.payload is not None:
+            response["result"] = self.payload
+        if self.error:
+            response["error"] = self.error
+        return response
+
+
+class QueryService:
+    """A pool of warmed engines behind caches and admission control."""
+
+    def __init__(
+        self,
+        graph: RDFGraph,
+        engine: str = "SPARQLGX",
+        pool_size: int = 2,
+        parallelism: int = 4,
+        queue_limit: int = 8,
+        plan_cache_size: int = 64,
+        result_cache_size: int = 128,
+        default_deadline: Optional[int] = None,
+        enable_plan_cache: bool = True,
+        enable_result_cache: bool = True,
+        faults: Union[None, str, FaultScheduler] = None,
+        max_task_attempts: int = 4,
+        speculation: bool = False,
+    ) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        resolve_engine(engine)  # fail fast on unknown names
+        self.engine_name = engine
+        self.parallelism = parallelism
+        self.default_deadline = default_deadline
+        self.enable_plan_cache = enable_plan_cache
+        self.enable_result_cache = enable_result_cache
+        self.versions = VersionedGraph(graph)
+        #: Service-level counters (admissions, cache outcomes, deadlines);
+        #: engine work is charged to each engine's own context.
+        self.metrics = MetricsCollector()
+        self.tracer = Tracer(self.metrics)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        self.queue: FairShareQueue = FairShareQueue(queue_limit)
+        self._faults = faults
+        self._max_task_attempts = max_task_attempts
+        self._speculation = speculation
+        self.pool = [
+            self._build_worker() for _ in range(pool_size)
+        ]
+        self._round_robin = 0
+
+    def _build_worker(self):
+        return build_engine(
+            self.engine_name,
+            self.versions.head(),
+            parallelism=self.parallelism,
+            faults=self._fault_schedule(),
+            max_task_attempts=self._max_task_attempts,
+            speculation=self._speculation,
+        )
+
+    def _fault_schedule(self) -> Union[None, FaultScheduler]:
+        """A fresh, equivalent scheduler per worker (as BenchRun does)."""
+        if self._faults is None:
+            return None
+        if isinstance(self._faults, str):
+            return FaultScheduler.from_spec(self._faults)
+        return self._faults.fork()
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The graph version served (result-cache key component)."""
+        return self.versions.head_version
+
+    @property
+    def pool_size(self) -> int:
+        return len(self.pool)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> QueryOutcome:
+        """Execute one request synchronously on the next pooled engine.
+
+        This is the sequential front door (the ``serve`` loop); the load
+        generator instead calls :meth:`execute_on` with explicit worker
+        assignment to model pool concurrency.  Admission always passes
+        here -- a sequential caller cannot overrun the queue.
+        """
+        self.metrics.record_admission(True)
+        worker = self._round_robin % len(self.pool)
+        self._round_robin += 1
+        return self.execute_on(request, worker)
+
+    def execute_on(self, request: QueryRequest, worker: int) -> QueryOutcome:
+        """Run *request* on pool slot *worker*, consulting both caches."""
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "request", name=request.id or "-", tenant=request.tenant
+            ) as span:
+                outcome = self._execute(request, worker)
+                if span is not None:
+                    span.attrs["cache"] = outcome.cache
+                    span.attrs["status"] = outcome.status
+                return outcome
+        return self._execute(request, worker)
+
+    def _execute(self, request: QueryRequest, worker: int) -> QueryOutcome:
+        outcome = QueryOutcome(
+            id=request.id,
+            tenant=request.tenant,
+            status="ok",
+            version=self.version,
+            worker=worker,
+        )
+        normalized = normalize_query(request.text)
+
+        # Plan tier.
+        if self.enable_plan_cache:
+            try:
+                plan, plan_hit = self.plan_cache.get_or_parse(
+                    normalized, self.metrics
+                )
+            except ValueError as exc:
+                outcome.status = "error"
+                outcome.error = "parse error: %s" % exc
+                self.metrics.record_completion(0, 0)
+                return outcome
+        else:
+            try:
+                from repro.sparql.parser import parse_sparql
+
+                plan, plan_hit = parse_sparql(normalized), False
+            except ValueError as exc:
+                outcome.status = "error"
+                outcome.error = "parse error: %s" % exc
+                self.metrics.record_completion(0, 0)
+                return outcome
+
+        # Result tier.
+        key = (normalized, self.version, self.engine_name)
+        if self.enable_result_cache:
+            cached = self.result_cache.get(key, self.metrics)
+            if cached is not None:
+                outcome.payload = cached
+                outcome.cache = "result"
+                outcome.service_units = CACHE_HIT_UNITS
+                self.metrics.record_completion(0, CACHE_HIT_UNITS)
+                return outcome
+
+        # Cold (or plan-warm) execution under a deadline.
+        engine = self.pool[worker]
+        ctx = engine.ctx
+        budget = (
+            request.deadline
+            if request.deadline is not None
+            else self.default_deadline
+        )
+        before = ctx.metrics.snapshot()
+        ctx.set_deadline(budget, query=request.id or normalized[:40])
+        try:
+            result = engine.execute(plan)
+        except DeadlineExceededError as exc:
+            outcome.status = "deadline"
+            outcome.error = str(exc)
+            outcome.service_units = exc.spent
+            self.metrics.record_deadline_abort()
+            self.metrics.record_completion(0, exc.spent)
+            return outcome
+        except UnsupportedQueryError as exc:
+            outcome.status = "unsupported"
+            outcome.error = str(exc)
+            self.metrics.record_completion(0, 0)
+            return outcome
+        except TaskFailedError as exc:
+            outcome.status = "failed"
+            outcome.error = str(exc)
+            self.metrics.record_completion(0, 0)
+            return outcome
+        finally:
+            ctx.set_deadline(None)
+        spent = cost_units(ctx.metrics.snapshot() - before)
+        outcome.payload = canonical_json(canonical_result(result, plan))
+        outcome.cache = "plan" if plan_hit else "cold"
+        outcome.service_units = max(spent, 1)
+        if self.enable_result_cache:
+            self.result_cache.put(key, outcome.payload, self.metrics)
+        self.metrics.record_completion(0, outcome.service_units)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def commit(
+        self,
+        additions: List[Triple] = (),
+        deletions: List[Triple] = (),
+    ) -> int:
+        """Apply a change set: new graph version, caches invalidated,
+        every pooled engine rebuilt on the new head (warm again)."""
+        if self.tracer.enabled:
+            with self.tracer.span("commit") as span:
+                version, dropped = self._commit(additions, deletions)
+                if span is not None:
+                    span.attrs["version"] = version
+                    span.attrs["invalidated"] = dropped
+                return version
+        return self._commit(additions, deletions)[0]
+
+    def _commit(self, additions, deletions) -> Tuple[int, int]:
+        version = self.versions.commit(additions, deletions)
+        dropped = self.result_cache.invalidate_below(version, self.metrics)
+        head = self.versions.head()
+        for engine in self.pool:
+            engine.load(head)
+        return version, dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the service counters."""
+        snapshot = self.metrics.snapshot()
+        return {
+            "engine": self.engine_name,
+            "pool_size": self.pool_size,
+            "version": self.version,
+            "plan_cache_entries": len(self.plan_cache),
+            "result_cache_entries": len(self.result_cache),
+            "counters": {name: value for name, value in snapshot if value},
+        }
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def __repr__(self) -> str:
+        return "QueryService(engine=%s, pool=%d, version=%d)" % (
+            self.engine_name,
+            self.pool_size,
+            self.version,
+        )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Iterable, List, Optional, Union
 
 from repro.spark.broadcast import Broadcast
+from repro.spark.deadline import Deadline
 from repro.spark.faults import FaultScheduler, as_fault_scheduler
 from repro.spark.metrics import MetricsCollector
 from repro.spark.partitioner import Partitioner
@@ -66,12 +67,37 @@ class SparkContext:
         #: True while a lost partition is being rebuilt (guards nested
         #: recovery from double-charging ``recompute_comparisons``).
         self._recovering = False
+        #: Armed cost-unit budget for the running query, or None.  The
+        #: task loop polls it via :meth:`check_deadline` once per
+        #: partition computation (see :mod:`repro.spark.deadline`).
+        self.deadline: Optional[Deadline] = None
         self._rdd_counter = 0
         self._broadcast_counter = 0
 
     def _next_rdd_id(self) -> int:
         self._rdd_counter += 1
         return self._rdd_counter
+
+    def set_deadline(
+        self, budget: Optional[int], query: Optional[str] = None
+    ) -> Optional[Deadline]:
+        """Arm (or, with ``None``, disarm) a cost-unit deadline.
+
+        The budget counts from the collector's *current* state, so work
+        already charged -- store builds, earlier queries on a pooled
+        engine -- is not billed against this query.  Returns the armed
+        :class:`~repro.spark.deadline.Deadline` (or None).
+        """
+        if budget is None:
+            self.deadline = None
+        else:
+            self.deadline = Deadline(budget, self.metrics, query)
+        return self.deadline
+
+    def check_deadline(self) -> None:
+        """Poll the armed deadline, if any (called once per task)."""
+        if self.deadline is not None:
+            self.deadline.check()
 
     def executor_for(self, partition_index: int) -> int:
         """The virtual executor hosting *partition_index*."""

@@ -121,6 +121,50 @@ class MetricsSnapshot:
     def speculative_launches(self) -> int:
         return self["speculative_launches"]
 
+    # Serving-layer counters (see repro.server and docs/SERVER.md).
+    @property
+    def queries_admitted(self) -> int:
+        return self["queries_admitted"]
+
+    @property
+    def queries_rejected(self) -> int:
+        return self["queries_rejected"]
+
+    @property
+    def queries_completed(self) -> int:
+        return self["queries_completed"]
+
+    @property
+    def deadline_aborts(self) -> int:
+        return self["deadline_aborts"]
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return self["plan_cache_hits"]
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return self["plan_cache_misses"]
+
+    @property
+    def result_cache_hits(self) -> int:
+        return self["result_cache_hits"]
+
+    @property
+    def result_cache_misses(self) -> int:
+        return self["result_cache_misses"]
+
+    @property
+    def result_cache_invalidations(self) -> int:
+        return self["result_cache_invalidations"]
+
+    def result_cache_hit_rate(self) -> float:
+        """Fraction of result-cache lookups answered from the cache."""
+        lookups = self.result_cache_hits + self.result_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.result_cache_hits / lookups
+
     def locality_fraction(self) -> float:
         """Fraction of shuffled records that stayed on their executor."""
         total = self.shuffle_records
@@ -157,6 +201,25 @@ class MetricsCollector:
     ``stragglers`` / ``straggler_delay_units`` / ``speculative_launches``
         Injected slow tasks, their simulated delay, and speculative
         backup copies launched when speculation is enabled.
+
+    The serving layer (:mod:`repro.server`) keeps its own collector with
+    these additional counters:
+
+    ``queries_admitted`` / ``queries_rejected`` / ``queries_completed``
+        Requests accepted by admission control, turned away by the
+        bounded queue, and finished (any terminal status).
+    ``deadline_aborts``
+        Queries killed by a cost-unit deadline
+        (:class:`~repro.spark.deadline.DeadlineExceededError`).
+    ``plan_cache_hits`` / ``plan_cache_misses``
+        Parsed-plan reuse keyed on normalized query text.
+    ``result_cache_hits`` / ``result_cache_misses`` /
+    ``result_cache_invalidations`` / ``result_cache_evictions``
+        Result-cache outcomes; invalidations count entries dropped by a
+        graph-version bump, evictions count LRU capacity pressure.
+    ``queue_wait_units`` / ``service_units``
+        Virtual time spent waiting for a worker and executing, in cost
+        units (see :mod:`repro.spark.deadline`).
     """
 
     def __init__(self) -> None:
@@ -226,3 +289,28 @@ class MetricsCollector:
         """A speculative backup copy: its launch and its (duplicated) task."""
         self.incr("speculative_launches")
         self.incr("tasks")
+
+    # -- serving layer --------------------------------------------------
+
+    def record_admission(self, admitted: bool) -> None:
+        self.incr("queries_admitted" if admitted else "queries_rejected")
+
+    def record_completion(self, wait_units: int, service_units: int) -> None:
+        self.incr("queries_completed")
+        self.incr("queue_wait_units", wait_units)
+        self.incr("service_units", service_units)
+
+    def record_deadline_abort(self) -> None:
+        self.incr("deadline_aborts")
+
+    def record_plan_cache(self, hit: bool) -> None:
+        self.incr("plan_cache_hits" if hit else "plan_cache_misses")
+
+    def record_result_cache(self, hit: bool) -> None:
+        self.incr("result_cache_hits" if hit else "result_cache_misses")
+
+    def record_result_invalidations(self, dropped: int) -> None:
+        self.incr("result_cache_invalidations", dropped)
+
+    def record_result_eviction(self) -> None:
+        self.incr("result_cache_evictions")

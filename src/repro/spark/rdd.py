@@ -110,6 +110,10 @@ class RDD:
         suffer partition-loss events (rebuilt from lineage) and task runs
         may fail or straggle (retried/speculated); see :meth:`_run_task`.
         """
+        if self.ctx.deadline is not None:
+            # Deadline poll: one check per partition computation, the
+            # simulated analogue of Spark's per-task kill points.
+            self.ctx.deadline.check()
         if self._cached is not None and index in self._cached:
             faults = self.ctx.faults
             if (

@@ -49,6 +49,18 @@ Span kinds emitted by the substrate and the shared driver:
     to the failure that caused it.
 ``retry``
     One task re-launch after an injected failure (name ``attemptN``).
+
+The serving layer (:mod:`repro.server`) runs a second tracer over its
+own service-level collector and adds:
+
+``request``
+    Root span around one executed request (name = request id; attrs
+    carry the tenant plus the cache tier and status that resolved it).
+    Engine work is charged to the engine's own context, not this
+    tracer, keeping the service and substrate clocks separable.
+``commit``
+    One graph-version bump, with the new version and the invalidation
+    count it caused.
 """
 
 from __future__ import annotations

@@ -1,0 +1,169 @@
+"""Closed-loop load generation: determinism, back-pressure, fairness."""
+
+import pytest
+
+from repro.server import LoadGenerator, QueryService, build_workload
+from repro.server.loadgen import percentile
+
+
+def make_service(graph, **kwargs):
+    kwargs.setdefault("engine", "SPARQLGX")
+    kwargs.setdefault("pool_size", 2)
+    return QueryService(graph, **kwargs)
+
+
+def run_load(graph, service_kwargs=None, **gen_kwargs):
+    service = make_service(graph, **(service_kwargs or {}))
+    gen_kwargs.setdefault("clients", 6)
+    gen_kwargs.setdefault("tenants", 2)
+    gen_kwargs.setdefault("requests_per_client", 4)
+    gen_kwargs.setdefault("think_units", 20)
+    gen_kwargs.setdefault("seed", 42)
+    workload = build_workload(graph, size=4, seed=gen_kwargs["seed"])
+    return LoadGenerator(service, workload, **gen_kwargs).run()
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_single_sample(self):
+        assert percentile([7], 99) == 7
+
+    def test_unsorted_input(self):
+        assert percentile([30, 10, 20], 50) == 20
+
+
+class TestWorkloadBuilder:
+    def test_deterministic(self, lubm_graph):
+        first = build_workload(lubm_graph, size=6, seed=9)
+        second = build_workload(lubm_graph, size=6, seed=9)
+        assert first == second
+
+    def test_seed_changes_workload(self, lubm_graph):
+        assert build_workload(lubm_graph, size=6, seed=1) != build_workload(
+            lubm_graph, size=6, seed=2
+        )
+
+    def test_queries_are_parseable_and_answerable(self, lubm_graph):
+        from repro.sparql.algebra import evaluate
+        from repro.sparql.parser import parse_sparql
+
+        for _name, text in build_workload(lubm_graph, size=6, seed=42):
+            assert len(evaluate(parse_sparql(text), lubm_graph)) > 0
+
+    def test_empty_graph_rejected(self):
+        from repro.rdf.graph import RDFGraph
+
+        with pytest.raises(ValueError):
+            build_workload(RDFGraph())
+
+
+class TestDeterminism:
+    def test_report_is_byte_reproducible(self, lubm_graph):
+        """The headline guarantee: same seed, same bytes, fresh state."""
+        first = run_load(lubm_graph, seed=7)
+        second = run_load(lubm_graph, seed=7)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_different_schedule(self, lubm_graph):
+        assert run_load(lubm_graph, seed=1).to_json() != run_load(
+            lubm_graph, seed=2
+        ).to_json()
+
+
+class TestClosedLoop:
+    def test_all_requests_accounted_for(self, lubm_graph):
+        report = run_load(lubm_graph)
+        assert report.submitted == report.completed + report.rejected
+        assert report.completed == len(report.latencies)
+
+    def test_caching_lifts_throughput(self, lubm_graph):
+        cached = run_load(lubm_graph)
+        uncached = run_load(
+            lubm_graph,
+            service_kwargs={
+                "enable_result_cache": False,
+                "enable_plan_cache": False,
+            },
+        )
+        assert cached.cache["result_hits"] > 0
+        assert uncached.cache["result_hits"] == 0
+        assert (
+            cached.throughput_per_kilounit()
+            > uncached.throughput_per_kilounit()
+        )
+        assert (
+            cached.to_payload()["latency_units"]["p50"]
+            <= uncached.to_payload()["latency_units"]["p50"]
+        )
+
+    def test_tiny_queue_rejects_under_pressure(self, lubm_graph):
+        report = run_load(
+            lubm_graph,
+            service_kwargs={
+                "pool_size": 1,
+                "queue_limit": 1,
+                "enable_result_cache": False,
+            },
+            clients=8,
+            think_units=0,
+        )
+        assert report.rejected > 0
+        assert report.max_queue_depth <= 1
+
+    def test_ample_capacity_rejects_nothing(self, lubm_graph):
+        report = run_load(
+            lubm_graph,
+            service_kwargs={"pool_size": 2, "queue_limit": 64},
+        )
+        assert report.rejected == 0
+
+    def test_deadline_aborts_coexist_with_completions(self, lubm_graph):
+        report = run_load(lubm_graph, deadline=30)
+        assert report.deadline_aborts > 0
+        assert report.ok > 0  # concurrent queries still complete
+        payload = report.to_payload()
+        assert payload["totals"]["deadline_aborts"] == report.deadline_aborts
+
+    def test_fair_share_balances_tenants(self, lubm_graph):
+        report = run_load(
+            lubm_graph,
+            service_kwargs={"pool_size": 1, "queue_limit": 16},
+            clients=6,
+            tenants=3,
+            think_units=0,
+        )
+        completed = [
+            tenant["completed"] for tenant in report.per_tenant.values()
+        ]
+        assert len(completed) == 3
+        assert max(completed) - min(completed) <= 2
+
+    def test_report_payload_shape(self, lubm_graph):
+        payload = run_load(lubm_graph).to_payload()
+        assert payload["version"] == 1
+        for key in (
+            "config",
+            "totals",
+            "latency_units",
+            "queue",
+            "cache",
+            "tenants",
+            "throughput_per_kilounit",
+            "virtual_duration_units",
+        ):
+            assert key in payload
+        assert payload["latency_units"]["p50"] <= payload["latency_units"]["p95"]
+        assert payload["latency_units"]["p95"] <= payload["latency_units"]["p99"]
+
+    def test_rejects_empty_workload(self, lubm_graph):
+        with pytest.raises(ValueError):
+            LoadGenerator(make_service(lubm_graph), [])

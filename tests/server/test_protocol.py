@@ -1,0 +1,131 @@
+"""Canonical result serialization and the JSON-lines protocol.
+
+The canonical-ordering regression suite: serialized results at the
+service boundary must be byte-identical regardless of which engine
+produced them (for unordered queries) and across repeated runs, or the
+result cache's byte-identity guarantee is vacuous.
+"""
+
+import pytest
+
+from repro.runtime import build_engine
+from repro.server.protocol import (
+    ProtocolError,
+    canonical_json,
+    canonical_result,
+    decode_request,
+    encode_response,
+)
+from repro.sparql.parser import parse_sparql
+
+MEMBER_QUERY = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "SELECT ?s ?d WHERE { ?s lubm:memberOf ?d }"
+)
+
+
+class TestCanonicalOrdering:
+    def test_unordered_select_sorts_rows(self, lubm_graph):
+        engine = build_engine("Naive", lubm_graph)
+        result = engine.execute(MEMBER_QUERY)
+        payload = canonical_result(result, parse_sparql(MEMBER_QUERY))
+        assert payload["type"] == "bindings"
+        assert payload["ordered"] is False
+        assert payload["rows"] == sorted(payload["rows"])
+
+    def test_engines_agree_byte_for_byte(self, lubm_graph):
+        """Different engines, different internal row orders -- one wire form."""
+        renders = []
+        for name in ("Naive", "SPARQLGX", "S2RDF"):
+            engine = build_engine(name, lubm_graph)
+            result = engine.execute(MEMBER_QUERY)
+            renders.append(
+                canonical_json(
+                    canonical_result(result, parse_sparql(MEMBER_QUERY))
+                )
+            )
+        assert renders[0] == renders[1] == renders[2]
+
+    def test_repeated_runs_are_byte_identical(self, lubm_graph):
+        engine = build_engine("SPARQLGX", lubm_graph)
+        plan = parse_sparql(MEMBER_QUERY)
+        first = canonical_json(canonical_result(engine.execute(plan), plan))
+        second = canonical_json(canonical_result(engine.execute(plan), plan))
+        assert first == second
+
+    def test_order_by_is_preserved_not_sorted(self, lubm_graph):
+        query = (
+            "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+            "SELECT ?d WHERE { ?s lubm:memberOf ?d } ORDER BY DESC(?d)"
+        )
+        engine = build_engine("Naive", lubm_graph)
+        plan = parse_sparql(query)
+        payload = canonical_result(engine.execute(plan), plan)
+        assert payload["ordered"] is True
+        # Descending order: the serializer must NOT have re-sorted ascending.
+        assert payload["rows"] == sorted(payload["rows"], reverse=True)
+        assert payload["rows"] != sorted(payload["rows"])
+
+    def test_ask_and_construct_forms(self, lubm_graph):
+        engine = build_engine("Naive", lubm_graph)
+        ask = engine.execute(
+            "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+            "ASK { ?s lubm:memberOf ?d }"
+        )
+        assert canonical_result(ask) == {"type": "boolean", "value": True}
+        construct = engine.execute(
+            "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+            "CONSTRUCT { ?d lubm:hasMember ?s } WHERE { ?s lubm:memberOf ?d }"
+        )
+        payload = canonical_result(construct)
+        assert payload["type"] == "graph"
+        assert payload["triples"] == sorted(payload["triples"])
+
+    def test_unbound_optional_variables_render_empty(self, lubm_graph):
+        query = (
+            "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+            "SELECT ?s ?x WHERE { ?s lubm:memberOf ?d "
+            "OPTIONAL { ?s lubm:noSuchPredicate ?x } }"
+        )
+        engine = build_engine("Naive", lubm_graph)
+        plan = parse_sparql(query)
+        payload = canonical_result(engine.execute(plan), plan)
+        assert all(row[1] == "" for row in payload["rows"])
+
+
+class TestCanonicalJson:
+    def test_sorted_compact_deterministic(self):
+        payload = {"b": 1, "a": [1, 2]}
+        assert canonical_json(payload) == '{"a":[1,2],"b":1}'
+
+
+class TestRequestDecoding:
+    def test_query_defaults(self):
+        payload = decode_request('{"query": "SELECT ?s WHERE { ?s ?p ?o }"}')
+        assert payload["op"] == "query"
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode_request("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_request("[1, 2]")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            decode_request('{"op": "explode"}')
+
+    def test_rejects_query_without_text(self):
+        with pytest.raises(ProtocolError):
+            decode_request('{"op": "query"}')
+
+    def test_rejects_empty_line(self):
+        with pytest.raises(ProtocolError):
+            decode_request("   \n")
+
+    def test_encode_response_is_canonical(self):
+        assert (
+            encode_response({"status": "ok", "id": "x"})
+            == '{"id":"x","status":"ok"}'
+        )

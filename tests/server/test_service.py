@@ -1,0 +1,242 @@
+"""QueryService: warm pool, cache tiers, deadlines, version invalidation."""
+
+import pytest
+
+from repro.data.lubm import LUBM
+from repro.rdf.triple import Triple
+from repro.runtime import UnknownEngineError
+from repro.server import QueryRequest, QueryService
+from repro.spark.deadline import DeadlineExceededError
+
+MEMBER_QUERY = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "SELECT DISTINCT ?d WHERE { ?s lubm:memberOf ?d }"
+)
+SCAN_QUERY = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+
+@pytest.fixture
+def service(lubm_graph):
+    return QueryService(lubm_graph, engine="SPARQLGX", pool_size=2)
+
+
+class TestConstruction:
+    def test_unknown_engine_fails_fast(self, lubm_graph):
+        with pytest.raises(UnknownEngineError):
+            QueryService(lubm_graph, engine="NoSuchEngine")
+
+    def test_pool_is_warm(self, service):
+        """Every pooled engine has its store built before the first query."""
+        for engine in service.pool:
+            assert engine._loaded
+
+    def test_rejects_empty_pool(self, lubm_graph):
+        with pytest.raises(ValueError):
+            QueryService(lubm_graph, pool_size=0)
+
+
+class TestCaching:
+    def test_result_cache_hit_is_byte_identical_to_cold_run(self, service):
+        cold = service.submit(QueryRequest(text=MEMBER_QUERY, id="cold"))
+        warm = service.submit(QueryRequest(text=MEMBER_QUERY, id="warm"))
+        assert cold.cache == "cold"
+        assert warm.cache == "result"
+        assert warm.payload == cold.payload  # byte identity (bytes stored)
+        # And identical to a fresh service's cold execution.
+        fresh = QueryService(
+            service.versions.head(), engine="SPARQLGX", pool_size=1
+        ).submit(QueryRequest(text=MEMBER_QUERY))
+        assert fresh.payload == cold.payload
+
+    def test_textual_variants_share_cache_entries(self, service):
+        service.submit(QueryRequest(text=MEMBER_QUERY))
+        variant = MEMBER_QUERY.replace("\n", "   \n") + "  # comment"
+        again = service.submit(QueryRequest(text=variant))
+        assert again.cache == "result"
+
+    def test_cache_hit_is_cheap(self, service):
+        cold = service.submit(QueryRequest(text=MEMBER_QUERY))
+        warm = service.submit(QueryRequest(text=MEMBER_QUERY))
+        assert warm.service_units < cold.service_units
+
+    def test_plan_cache_without_result_cache(self, lubm_graph):
+        service = QueryService(
+            lubm_graph, pool_size=1, enable_result_cache=False
+        )
+        first = service.submit(QueryRequest(text=MEMBER_QUERY))
+        second = service.submit(QueryRequest(text=MEMBER_QUERY))
+        assert first.cache == "cold"
+        assert second.cache == "plan"  # parsed once, executed twice
+        assert second.payload == first.payload
+        assert service.snapshot().result_cache_hits == 0
+
+    def test_caches_fully_disabled(self, lubm_graph):
+        service = QueryService(
+            lubm_graph,
+            pool_size=1,
+            enable_plan_cache=False,
+            enable_result_cache=False,
+        )
+        for _ in range(2):
+            assert service.submit(QueryRequest(text=MEMBER_QUERY)).cache == "cold"
+
+    def test_counters_track_hits_and_misses(self, service):
+        service.submit(QueryRequest(text=MEMBER_QUERY))
+        service.submit(QueryRequest(text=MEMBER_QUERY))
+        snapshot = service.snapshot()
+        assert snapshot.result_cache_misses == 1
+        assert snapshot.result_cache_hits == 1
+        assert snapshot.plan_cache_misses == 1
+        assert snapshot.result_cache_hit_rate() == 0.5
+
+
+class TestVersioning:
+    def test_commit_bumps_version_and_invalidates(self, service):
+        stale = service.submit(QueryRequest(text=MEMBER_QUERY))
+        version = service.commit(
+            additions=[
+                Triple(LUBM["NewStudent"], LUBM.memberOf, LUBM["DeptNew"])
+            ]
+        )
+        assert version == 1
+        assert service.snapshot().result_cache_invalidations >= 1
+        fresh = service.submit(QueryRequest(text=MEMBER_QUERY))
+        # Old result entry is unusable; the text-keyed plan cache survives.
+        assert fresh.cache == "plan"
+        assert fresh.payload != stale.payload
+        assert "DeptNew" in fresh.payload
+
+    def test_answers_reflect_deletions(self, service, lubm_graph):
+        # Non-DISTINCT projection: dropping one membership drops one row.
+        query = (
+            "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+            "SELECT ?s ?d WHERE { ?s lubm:memberOf ?d }"
+        )
+        victim = next(iter(lubm_graph.triples((None, LUBM.memberOf, None))))
+        before = service.submit(QueryRequest(text=query))
+        service.commit(deletions=[victim])
+        after = service.submit(QueryRequest(text=query))
+        assert after.version == 1
+        assert after.payload != before.payload
+
+    def test_new_version_repopulates_cache(self, service):
+        service.submit(QueryRequest(text=MEMBER_QUERY))
+        service.commit(
+            additions=[Triple(LUBM["S"], LUBM.memberOf, LUBM["D"])]
+        )
+        service.submit(QueryRequest(text=MEMBER_QUERY))
+        hit = service.submit(QueryRequest(text=MEMBER_QUERY))
+        assert hit.cache == "result"
+
+
+class TestDeadlines:
+    def test_over_deadline_query_fails_typed_while_others_complete(
+        self, service
+    ):
+        """The acceptance scenario: one doomed query, healthy neighbours."""
+        doomed = service.submit(
+            QueryRequest(text=SCAN_QUERY, id="doomed", deadline=5)
+        )
+        assert doomed.status == "deadline"
+        assert "cost unit" in doomed.error
+        healthy = service.submit(QueryRequest(text=MEMBER_QUERY, id="ok"))
+        assert healthy.status == "ok"
+        assert service.snapshot().deadline_aborts == 1
+
+    def test_deadline_abort_is_not_cached(self, service):
+        service.submit(QueryRequest(text=SCAN_QUERY, deadline=5))
+        retry = service.submit(QueryRequest(text=SCAN_QUERY))
+        assert retry.status == "ok"
+        assert retry.cache in ("cold", "plan")
+
+    def test_default_deadline_applies(self, lubm_graph):
+        service = QueryService(lubm_graph, pool_size=1, default_deadline=5)
+        assert (
+            service.submit(QueryRequest(text=SCAN_QUERY)).status == "deadline"
+        )
+
+    def test_request_deadline_overrides_default(self, lubm_graph):
+        service = QueryService(lubm_graph, pool_size=1, default_deadline=5)
+        generous = service.submit(
+            QueryRequest(text=MEMBER_QUERY, deadline=10**9)
+        )
+        assert generous.status == "ok"
+
+    def test_deadline_disarmed_after_abort(self, service):
+        service.submit(QueryRequest(text=SCAN_QUERY, deadline=5))
+        for engine in service.pool:
+            assert engine.ctx.deadline is None
+
+    def test_deadline_error_direct_engine_access(self, service):
+        """The typed error also escapes raw engine use (no service wrapper)."""
+        engine = service.pool[0]
+        engine.ctx.set_deadline(3, query="raw")
+        try:
+            with pytest.raises(DeadlineExceededError) as info:
+                engine.execute(SCAN_QUERY)
+            assert info.value.spent > 3
+            assert info.value.query == "raw"
+        finally:
+            engine.ctx.set_deadline(None)
+
+
+class TestErrorStatuses:
+    def test_parse_error_is_reported_not_raised(self, service):
+        outcome = service.submit(QueryRequest(text="SELECT WHERE oops"))
+        assert outcome.status == "error"
+        assert "parse error" in outcome.error
+
+    def test_unsupported_query_status(self, lubm_graph):
+        # SparkRDF publishes a BGP-only fragment: ORDER BY is out.
+        service = QueryService(lubm_graph, engine="SparkRDF", pool_size=1)
+        outcome = service.submit(
+            QueryRequest(
+                text=MEMBER_QUERY.replace("SELECT DISTINCT", "SELECT")
+                + " ORDER BY ?d"
+            )
+        )
+        assert outcome.status == "unsupported"
+        assert "BGP" in outcome.error
+
+
+class TestFaultIntegration:
+    def test_answers_survive_fault_schedule(self, lubm_graph):
+        clean = QueryService(lubm_graph, pool_size=1).submit(
+            QueryRequest(text=MEMBER_QUERY)
+        )
+        faulty = QueryService(
+            lubm_graph,
+            pool_size=1,
+            faults="fail:p=0.3;seed=7",
+            max_task_attempts=10,
+        ).submit(QueryRequest(text=MEMBER_QUERY))
+        assert faulty.status == "ok"
+        assert faulty.payload == clean.payload
+
+
+class TestPoolAndStats:
+    def test_round_robin_across_pool(self, service):
+        workers = {
+            service.submit(QueryRequest(text=MEMBER_QUERY)).worker
+            for _ in range(4)
+        }
+        assert workers == {0, 1}
+
+    def test_stats_shape(self, service):
+        service.submit(QueryRequest(text=MEMBER_QUERY))
+        stats = service.stats()
+        assert stats["engine"] == "SPARQLGX"
+        assert stats["pool_size"] == 2
+        assert stats["counters"]["queries_completed"] == 1
+
+    def test_tracer_spans_when_enabled(self, service):
+        service.tracer.clear().enable()
+        service.submit(QueryRequest(text=MEMBER_QUERY, id="traced"))
+        service.commit(
+            additions=[Triple(LUBM["S"], LUBM.memberOf, LUBM["D"])]
+        )
+        service.tracer.disable()
+        kinds = [span.kind for span in service.tracer.roots]
+        assert "request" in kinds and "commit" in kinds
+        request_span = service.tracer.roots[0]
+        assert request_span.attrs["status"] == "ok"

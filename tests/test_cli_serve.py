@@ -1,0 +1,207 @@
+"""CLI tests for the ``serve`` and ``loadtest`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.rdf.ntriples import save_ntriples_file
+
+
+@pytest.fixture
+def data_file(tmp_path, lubm_graph):
+    path = tmp_path / "data.nt"
+    save_ntriples_file(str(path), lubm_graph)
+    return str(path)
+
+
+MEMBER_QUERY = (
+    "PREFIX lubm: <http://repro.example.org/lubm#> "
+    "SELECT DISTINCT ?d WHERE { ?s lubm:memberOf ?d }"
+)
+
+
+def write_requests(tmp_path, lines):
+    path = tmp_path / "requests.jsonl"
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    return str(path)
+
+
+class TestServe:
+    def test_end_to_end_request_loop(self, data_file, tmp_path, capsys):
+        requests = write_requests(
+            tmp_path,
+            [
+                {"op": "query", "id": "q1", "query": MEMBER_QUERY},
+                {"op": "query", "id": "q2", "query": MEMBER_QUERY},
+                {"op": "stats", "id": "s1"},
+            ],
+        )
+        assert main(["serve", data_file, "--input", requests]) == 0
+        out_lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert len(out_lines) == 3
+        q1, q2, stats = out_lines
+        assert q1["status"] == "ok" and q1["cache"] == "cold"
+        assert q2["status"] == "ok" and q2["cache"] == "result"
+        assert q2["result"] == q1["result"]  # byte-identical via the cache
+        assert stats["counters"]["result_cache_hits"] == 1
+
+    def test_commit_bumps_version_and_changes_answers(
+        self, data_file, tmp_path, capsys
+    ):
+        addition = (
+            "<http://repro.example.org/lubm#Fresh> "
+            "<http://repro.example.org/lubm#memberOf> "
+            "<http://repro.example.org/lubm#DeptFresh> ."
+        )
+        requests = write_requests(
+            tmp_path,
+            [
+                {"op": "query", "id": "before", "query": MEMBER_QUERY},
+                {"op": "commit", "id": "c", "additions": [addition]},
+                {"op": "query", "id": "after", "query": MEMBER_QUERY},
+            ],
+        )
+        assert main(["serve", data_file, "--input", requests]) == 0
+        before, commit, after = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert commit["version"] == 1 and commit["invalidated"] >= 1
+        assert after["version"] == 1
+        # Version bump invalidated the result entry; the text-keyed plan
+        # cache legitimately survives the commit.
+        assert after["cache"] != "result"
+        assert "DeptFresh" in after["result"]
+        assert after["result"] != before["result"]
+
+    def test_deadline_and_malformed_lines_keep_loop_alive(
+        self, data_file, tmp_path, capsys
+    ):
+        requests_path = tmp_path / "requests.jsonl"
+        requests_path.write_text(
+            json.dumps(
+                {
+                    "op": "query",
+                    "id": "doomed",
+                    "query": "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+                    "deadline": 5,
+                }
+            )
+            + "\nthis is not json\n"
+            + json.dumps({"op": "query", "id": "ok", "query": MEMBER_QUERY})
+            + "\n"
+        )
+        assert main(["serve", data_file, "--input", str(requests_path)]) == 0
+        doomed, junk, ok = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert doomed["status"] == "deadline"
+        assert "cost unit" in doomed["error"]
+        assert junk["status"] == "error"
+        assert ok["status"] == "ok"
+
+    def test_bad_deadline_type_is_an_error_response(
+        self, data_file, tmp_path, capsys
+    ):
+        requests = write_requests(
+            tmp_path,
+            [{"op": "query", "id": "x", "query": MEMBER_QUERY, "deadline": -3}],
+        )
+        assert main(["serve", data_file, "--input", requests]) == 0
+        (response,) = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert response["status"] == "error"
+        assert "deadline" in response["error"]
+
+    # -- error paths (exit codes asserted) ------------------------------
+
+    def test_unknown_engine_exits_2(self, data_file, capsys):
+        code = main(["serve", data_file, "--engine", "NoSuchEngine"])
+        assert code == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unreadable_graph_exits_2(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "missing.nt")])
+        assert code == 2
+        assert "cannot read RDF file" in capsys.readouterr().err
+
+    def test_bad_faults_spec_exits_2(self, data_file, capsys):
+        code = main(["serve", data_file, "--faults", "explode:p=1"])
+        assert code == 2
+        assert "invalid --faults spec" in capsys.readouterr().err
+
+    def test_unreadable_input_file_exits_2(self, data_file, tmp_path, capsys):
+        code = main(
+            ["serve", data_file, "--input", str(tmp_path / "missing.jsonl")]
+        )
+        assert code == 2
+        assert "cannot read request file" in capsys.readouterr().err
+
+
+class TestLoadtest:
+    def test_smoke_run(self, data_file, capsys):
+        assert main(["loadtest", data_file, "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput (/kilounit)" in out
+        assert "result-cache hit rate" in out
+
+    def test_report_is_byte_reproducible(self, data_file, tmp_path, capsys):
+        """Acceptance: same seed, byte-identical BENCH_server.json."""
+        first = tmp_path / "r1.json"
+        second = tmp_path / "r2.json"
+        args = ["loadtest", data_file, "--smoke", "--seed", "11"]
+        assert main(args + ["--report", str(first)]) == 0
+        assert main(args + ["--report", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert payload["totals"]["completed"] > 0
+        assert payload["config"]["seed"] == 11
+
+    def test_deadline_aborts_coexist_with_completions(
+        self, data_file, tmp_path, capsys
+    ):
+        report = tmp_path / "r.json"
+        assert (
+            main(
+                [
+                    "loadtest", data_file,
+                    "--clients", "4", "--requests", "3", "--queries", "4",
+                    "--deadline", "30", "--think", "10",
+                    "--report", str(report),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["totals"]["deadline_aborts"] > 0
+        assert payload["totals"]["ok"] > 0
+
+    # -- error paths (exit codes asserted) ------------------------------
+
+    def test_unknown_engine_exits_2(self, data_file, capsys):
+        code = main(
+            ["loadtest", data_file, "--smoke", "--engine", "NoSuchEngine"]
+        )
+        assert code == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unreadable_graph_exits_2(self, tmp_path, capsys):
+        code = main(["loadtest", str(tmp_path / "missing.nt"), "--smoke"])
+        assert code == 2
+        assert "cannot read RDF file" in capsys.readouterr().err
+
+    def test_bad_faults_spec_exits_2(self, data_file, capsys):
+        code = main(
+            ["loadtest", data_file, "--smoke", "--faults", "explode:p=1"]
+        )
+        assert code == 2
+        assert "invalid --faults spec" in capsys.readouterr().err
