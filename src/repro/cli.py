@@ -465,6 +465,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_units(value: str) -> int:
+    """argparse type: a strictly positive integer of cost units."""
+    units = int(value)
+    if units <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be a positive integer of cost units"
+        )
+    return units
+
+
 def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     """Service knobs shared by ``serve`` and ``loadtest``."""
     parser.add_argument(
@@ -482,7 +492,7 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--deadline",
-        type=int,
+        type=_positive_units,
         default=None,
         metavar="UNITS",
         help="default per-query deadline in cost units (default: none)",

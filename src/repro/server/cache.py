@@ -36,15 +36,27 @@ def normalize_query(text: str) -> str:
     """Canonical form of a SPARQL query's text, for cache keying.
 
     Strips comments (``#`` to end of line, except inside IRI ``<...>``
-    brackets and string literals) and collapses every whitespace run to
-    a single space.  This is *textual* normalization only -- two
-    semantically equal but differently written queries stay distinct
-    keys, which is the conservative (never-wrong) choice.
+    brackets and string literals) and collapses every whitespace run
+    *outside* string literals and IRIs to a single space; whitespace
+    inside a literal is content and survives byte-for-byte.  This is
+    *textual* normalization only -- two semantically equal but
+    differently written queries stay distinct keys, which is the
+    conservative (never-wrong) choice.
     """
     out = []
     in_iri = False
     quote: Optional[str] = None
+    pending_space = False
     i, n = 0, len(text)
+
+    def emit(ch: str) -> None:
+        nonlocal pending_space
+        if pending_space:
+            if out:
+                out.append(" ")
+            pending_space = False
+        out.append(ch)
+
     while i < n:
         ch = text[i]
         if quote is not None:
@@ -65,18 +77,20 @@ def normalize_query(text: str) -> str:
             continue
         if ch == "<":
             in_iri = True
-            out.append(ch)
+            emit(ch)
         elif ch in ("'", '"'):
             quote = ch
-            out.append(ch)
+            emit(ch)
         elif ch == "#":
             while i < n and text[i] != "\n":
                 i += 1
             continue
+        elif ch.isspace():
+            pending_space = True
         else:
-            out.append(ch)
+            emit(ch)
         i += 1
-    return " ".join("".join(out).split())
+    return "".join(out)
 
 
 class PlanCache:

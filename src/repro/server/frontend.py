@@ -60,12 +60,16 @@ def handle_request(service: QueryService, payload: Dict[str, Any]) -> Dict[str, 
                 "status": "error",
                 "error": "bad change set: %s" % exc,
             }
+        # The counter is cumulative; diff it across the commit so the
+        # response reports only the entries *this* commit dropped.
+        before = service.snapshot().result_cache_invalidations
         version = service.commit(additions, deletions)
+        after = service.snapshot().result_cache_invalidations
         return {
             "id": payload.get("id", ""),
             "status": "ok",
             "version": version,
-            "invalidated": service.snapshot().result_cache_invalidations,
+            "invalidated": after - before,
         }
     # op == "stats" (decode_request rejects anything else)
     response = {"id": payload.get("id", ""), "status": "ok"}

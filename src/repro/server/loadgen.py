@@ -230,6 +230,10 @@ class LoadGenerator:
             raise ValueError("clients and requests_per_client must be positive")
         if tenants <= 0:
             raise ValueError("tenants must be positive")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(
+                "deadline must be a positive number of cost units"
+            )
         self.service = service
         self.workload = list(workload)
         self.clients = clients
@@ -281,10 +285,12 @@ class LoadGenerator:
             )
 
         def record(outcome: QueryOutcome, arrival: _Arrival, now: int) -> None:
-            latency = (now - arrival.arrival_time) + outcome.service_units
+            # *now* is the completion timestamp, so it already spans both
+            # the queue wait and the service time.
+            latency = now - arrival.arrival_time
             report.completed += 1
             report.latencies.append(latency)
-            report.waits.append(now - arrival.arrival_time)
+            report.waits.append(outcome.wait_units)
             tenant = report.per_tenant.setdefault(
                 outcome.tenant,
                 {"completed": 0, "service_units": 0, "rejected": 0},

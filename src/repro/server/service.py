@@ -125,6 +125,10 @@ class QueryService:
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(
+                "default_deadline must be a positive number of cost units"
+            )
         resolve_engine(engine)  # fail fast on unknown names
         self.engine_name = engine
         self.parallelism = parallelism

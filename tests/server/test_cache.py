@@ -25,6 +25,18 @@ class TestNormalizeQuery:
         text = 'SELECT ?s WHERE { ?s ?p "a # b" }'
         assert normalize_query(text) == text
 
+    def test_whitespace_inside_string_literal_survives(self):
+        """Regression: literal content must stay byte-for-byte intact."""
+        text = 'SELECT ?s WHERE { ?s ?p "a  b\tc" }'
+        assert normalize_query(text) == text
+
+    def test_collapse_is_quote_aware(self):
+        text = 'SELECT  ?s\nWHERE { ?s ?p "a  b"  .\n ?s ?q \'x  y\' }'
+        assert (
+            normalize_query(text)
+            == "SELECT ?s WHERE { ?s ?p \"a  b\" . ?s ?q 'x  y' }"
+        )
+
     def test_equivalent_texts_share_a_key(self):
         a = "SELECT ?s WHERE { ?s ?p ?o }"
         b = "SELECT ?s  WHERE {\n  ?s ?p ?o\n}  # trailing comment"

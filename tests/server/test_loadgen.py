@@ -147,6 +147,23 @@ class TestClosedLoop:
         assert len(completed) == 3
         assert max(completed) - min(completed) <= 2
 
+    def test_latency_not_double_counted(self, lubm_graph):
+        """Regression: a lone client never queues, so every wait is 0 and
+        latency is exactly the service time (not service time twice)."""
+        report = run_load(lubm_graph, clients=1, tenants=1)
+        assert report.completed > 0
+        assert report.waits == [0] * report.completed
+        tenant = report.per_tenant["tenant0"]
+        assert sum(report.latencies) == tenant["service_units"]
+
+    def test_rejects_nonpositive_deadline(self, lubm_graph):
+        with pytest.raises(ValueError):
+            LoadGenerator(
+                make_service(lubm_graph),
+                [("q", "SELECT ?s WHERE { ?s ?p ?o }")],
+                deadline=0,
+            )
+
     def test_report_payload_shape(self, lubm_graph):
         payload = run_load(lubm_graph).to_payload()
         assert payload["version"] == 1

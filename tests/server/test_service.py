@@ -34,6 +34,13 @@ class TestConstruction:
         with pytest.raises(ValueError):
             QueryService(lubm_graph, pool_size=0)
 
+    def test_rejects_nonpositive_default_deadline(self, lubm_graph):
+        """Regression: a zero default deadline must fail at construction,
+        not crash the serve loop on the first query."""
+        for bad in (0, -5):
+            with pytest.raises(ValueError):
+                QueryService(lubm_graph, default_deadline=bad)
+
 
 class TestCaching:
     def test_result_cache_hit_is_byte_identical_to_cold_run(self, service):
@@ -53,6 +60,16 @@ class TestCaching:
         variant = MEMBER_QUERY.replace("\n", "   \n") + "  # comment"
         again = service.submit(QueryRequest(text=variant))
         assert again.cache == "result"
+
+    def test_literal_whitespace_queries_stay_distinct(self, service):
+        """Regression: "a  b" and "a b" are different queries -- they
+        must neither share a cache entry nor execute a rewritten text."""
+        spaced = 'SELECT ?s WHERE { ?s ?p "a  b" }'
+        collapsed = 'SELECT ?s WHERE { ?s ?p "a b" }'
+        first = service.submit(QueryRequest(text=spaced))
+        second = service.submit(QueryRequest(text=collapsed))
+        assert first.status == "ok" and second.status == "ok"
+        assert second.cache == "cold"  # distinct keys, no false sharing
 
     def test_cache_hit_is_cheap(self, service):
         cold = service.submit(QueryRequest(text=MEMBER_QUERY))

@@ -78,6 +78,36 @@ class TestServe:
         assert "DeptFresh" in after["result"]
         assert after["result"] != before["result"]
 
+    def test_commit_reports_per_commit_invalidations(
+        self, data_file, tmp_path, capsys
+    ):
+        """Regression: 'invalidated' is this commit's drop count, not the
+        cumulative counter."""
+
+        def addition(i):
+            return (
+                "<http://repro.example.org/lubm#S%d> "
+                "<http://repro.example.org/lubm#memberOf> "
+                "<http://repro.example.org/lubm#D%d> ." % (i, i)
+            )
+
+        requests = write_requests(
+            tmp_path,
+            [
+                {"op": "query", "id": "q1", "query": MEMBER_QUERY},
+                {"op": "commit", "id": "c1", "additions": [addition(1)]},
+                {"op": "query", "id": "q2", "query": MEMBER_QUERY},
+                {"op": "commit", "id": "c2", "additions": [addition(2)]},
+            ],
+        )
+        assert main(["serve", data_file, "--input", requests]) == 0
+        _q1, c1, _q2, c2 = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert c1["invalidated"] == 1
+        assert c2["invalidated"] == 1  # the second commit dropped one entry
+
     def test_deadline_and_malformed_lines_keep_loop_alive(
         self, data_file, tmp_path, capsys
     ):
@@ -136,6 +166,12 @@ class TestServe:
         code = main(["serve", data_file, "--faults", "explode:p=1"])
         assert code == 2
         assert "invalid --faults spec" in capsys.readouterr().err
+
+    def test_nonpositive_deadline_exits_2(self, data_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", data_file, "--deadline", "0"])
+        assert excinfo.value.code == 2
+        assert "positive" in capsys.readouterr().err
 
     def test_unreadable_input_file_exits_2(self, data_file, tmp_path, capsys):
         code = main(
