@@ -26,6 +26,15 @@ Commands
 ``loadtest DATA [--clients N] [--seed N] [--report FILE] [--smoke]``
     Drive the service with the closed-loop load generator and print the
     byte-reproducible throughput/latency/cache report.
+``stats DATA [--json FILE]``
+    Compute the statistics catalog (per-predicate counts, characteristic
+    sets, pair selectivities) for an RDF file; print a summary and
+    optionally write the deterministic catalog JSON.
+
+``query``, ``explain``, ``serve`` and ``loadtest`` accept ``--optimize``
+(plus ``--optimizer-mode`` and ``--broadcast-threshold``) to run BGPs
+through the shared cost-based optimizer instead of each engine's native
+join order.
 
 Exit codes: 2 for unusable inputs (bad ``--faults`` spec, unknown engine
 or unreadable data file on ``serve``/``loadtest``), 3 when a fault
@@ -110,6 +119,9 @@ def cmd_query(args) -> int:
     )
     engine = _engine_class(args.engine)(sc)
     engine.load(graph)
+    optimizer = _build_optimizer(args, graph)
+    if optimizer is not None:
+        engine.set_optimizer(optimizer)
     if args.trace:
         sc.tracer.clear().enable()
     before = sc.metrics.snapshot()
@@ -159,6 +171,19 @@ def _write_query_trace(path, engine_name, cost, spans) -> None:
     write_trace_file(path, [run_record(engine_name, "query", cost, spans)])
 
 
+def _build_optimizer(args, graph):
+    """The shared cost-based optimizer, or None when --optimize is off."""
+    if not getattr(args, "optimize", False):
+        return None
+    from repro.optimizer import Optimizer
+
+    return Optimizer.for_graph(
+        graph,
+        mode=args.optimizer_mode,
+        broadcast_threshold=args.broadcast_threshold,
+    )
+
+
 def cmd_explain(args) -> int:
     from repro.explain import DEFAULT_EXPLAIN_ENGINES, explain
 
@@ -169,8 +194,44 @@ def cmd_explain(args) -> int:
         for name in (args.engine or list(DEFAULT_EXPLAIN_ENGINES))
     ]
     print(
-        explain(graph, query_text, engines, parallelism=args.parallelism)
+        explain(
+            graph,
+            query_text,
+            engines,
+            parallelism=args.parallelism,
+            optimize=args.optimize,
+            optimizer_mode=args.optimizer_mode,
+            broadcast_threshold=args.broadcast_threshold,
+        )
     )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.stats import StatsCatalog
+
+    graph = load_graph(args.data)
+    catalog = StatsCatalog.from_graph(graph)
+    summary = catalog.summary()
+    rows = [[name, summary[name]] for name in sorted(summary)]
+    print(format_table(["statistic", "value"], rows))
+    top = sorted(
+        catalog.predicates.items(), key=lambda item: (-item[1].count, item[0])
+    )[:10]
+    print()
+    print(
+        format_table(
+            ["predicate", "count", "distinct subj", "distinct obj"],
+            [
+                [n3, stats.count, stats.distinct_subjects, stats.distinct_objects]
+                for n3, stats in top
+            ],
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(catalog.to_json())
+        print("catalog written to %s" % args.json)
     return 0
 
 
@@ -240,6 +301,9 @@ def _build_service(args):
         faults=args.faults,
         max_task_attempts=args.max_task_attempts,
         speculation=args.speculation,
+        optimize=args.optimize,
+        optimizer_mode=args.optimizer_mode,
+        broadcast_threshold=args.broadcast_threshold,
     )
 
 
@@ -326,6 +390,32 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _add_optimizer_arguments(parser: argparse.ArgumentParser) -> None:
+    """Cost-based-optimizer knobs shared by every executing subcommand."""
+    from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, ORDER_MODES
+
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run BGPs through the shared cost-based optimizer "
+        "(statistics catalog + DP join ordering + broadcast selection)",
+    )
+    parser.add_argument(
+        "--optimizer-mode",
+        choices=list(ORDER_MODES),
+        default="dp",
+        help="join ordering strategy under --optimize (default dp)",
+    )
+    parser.add_argument(
+        "--broadcast-threshold",
+        type=int,
+        default=DEFAULT_BROADCAST_THRESHOLD,
+        metavar="ROWS",
+        help="broadcast a join's build side when its estimated size is "
+        "under ROWS (default %d)" % DEFAULT_BROADCAST_THRESHOLD,
+    )
+
+
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     """Fault-injection knobs shared by ``query`` and ``assess``."""
     parser.add_argument(
@@ -375,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the execution trace (JSON span tree) to FILE",
     )
+    _add_optimizer_arguments(query)
     _add_fault_arguments(query)
 
     explain = sub.add_parser(
@@ -389,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine to explain (repeatable; default: SPARQLGX, S2RDF, HAQWA)",
     )
     explain.add_argument("--parallelism", type=int, default=4)
+    _add_optimizer_arguments(explain)
 
     assess = sub.add_parser(
         "assess", help="run the cross-system assessment on a data file"
@@ -410,6 +502,17 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=int, default=1)
     generate.add_argument("--seed", type=int, default=42)
 
+    stats = sub.add_parser(
+        "stats",
+        help="compute the statistics catalog for a data file",
+    )
+    stats.add_argument("data", help="RDF file (.nt or .ttl)")
+    stats.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the deterministic catalog JSON to FILE",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the query service over JSON-lines requests "
@@ -422,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="read request lines from FILE instead of stdin",
     )
     _add_service_arguments(serve)
+    _add_optimizer_arguments(serve)
     _add_fault_arguments(serve)
 
     loadtest = sub.add_parser(
@@ -460,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny fixed-size run for CI (caps clients/requests/queries)",
     )
     _add_service_arguments(loadtest)
+    _add_optimizer_arguments(loadtest)
     _add_fault_arguments(loadtest)
 
     return parser
@@ -521,6 +626,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "serve": cmd_serve,
         "loadtest": cmd_loadtest,
+        "stats": cmd_stats,
     }
     try:
         return handlers[args.command](args)

@@ -113,18 +113,25 @@ def run_traced(
     query: Union[str, Query],
     engine_cls: Type[SparkRdfEngine],
     parallelism: int = 4,
+    optimizer=None,
 ) -> EngineExplain:
     """Load *engine_cls* on a fresh context and execute *query* traced.
 
     The store build runs untraced (load cost is not query cost); tracing
     brackets exactly the ``execute`` call, so the root ``query`` span's
     inclusive delta equals the flat snapshot difference of the run.
+
+    Pass an :class:`~repro.optimizer.Optimizer` to run the cost-based
+    path: the trace then carries its ``optimize`` span (chosen order and
+    strategies) and per-step estimated vs. actual row counts.
     """
     if isinstance(query, str):
         query = parse_sparql(query)
     sc = SparkContext(default_parallelism=parallelism)
     engine = engine_cls(sc)
     engine.load(graph)
+    if optimizer is not None:
+        engine.set_optimizer(optimizer)
     sc.tracer.clear().enable()
     before = sc.metrics.snapshot()
     try:
@@ -159,14 +166,39 @@ def explain(
     query: Union[str, Query],
     engines: Sequence[Union[str, Type[SparkRdfEngine]]] = DEFAULT_EXPLAIN_ENGINES,
     parallelism: int = 4,
+    optimize: bool = False,
+    optimizer_mode: str = "dp",
+    broadcast_threshold: Optional[int] = None,
 ) -> str:
-    """Side-by-side per-operator cost trees for *query* on *engines*."""
+    """Side-by-side per-operator cost trees for *query* on *engines*.
+
+    With ``optimize=True`` one statistics catalog is computed for *graph*
+    and every engine runs the shared cost-based plan, so the sections
+    compare engines under identical join orders and strategies.
+    """
     if isinstance(query, str):
         query = parse_sparql(query)
+    optimizer = None
+    if optimize:
+        from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, Optimizer
+
+        optimizer = Optimizer.for_graph(
+            graph,
+            mode=optimizer_mode,
+            broadcast_threshold=(
+                DEFAULT_BROADCAST_THRESHOLD
+                if broadcast_threshold is None
+                else broadcast_threshold
+            ),
+        )
     sections: List[str] = []
     for engine in engines:
         cls = engine_class(engine) if isinstance(engine, str) else engine
-        sections.append(run_traced(graph, query, cls, parallelism).render())
+        sections.append(
+            run_traced(
+                graph, query, cls, parallelism, optimizer=optimizer
+            ).render()
+        )
     return "\n\n".join(sections)
 
 

@@ -1,0 +1,115 @@
+"""Cost-based SPARQL optimization shared across every engine.
+
+The package wires three pieces together behind one :class:`Optimizer`
+facade:
+
+* :mod:`repro.stats` supplies the :class:`~repro.stats.catalog.StatsCatalog`
+  (per-predicate counts, characteristic sets, ExtVP pair selectivities);
+* :mod:`repro.optimizer.cardinality` estimates pattern / star / subset
+  cardinalities from it;
+* :mod:`repro.optimizer.planner` orders the joins (Selinger DP, greedy, or
+  parse order) and picks each join's physical strategy (broadcast vs
+  shuffle vs partition-local);
+* :mod:`repro.optimizer.executor` runs the annotated plan through any
+  engine's own single-pattern evaluation.
+
+Engines opt in via :meth:`repro.systems.base.SparkRdfEngine.set_optimizer`;
+the unoptimized path stays the default (and the ablation baseline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.executor import (
+    collect_q_errors,
+    execute_plan,
+    q_error,
+)
+from repro.optimizer.planner import (
+    BgpPlan,
+    DEFAULT_BROADCAST_THRESHOLD,
+    JoinPlanner,
+    JoinStep,
+    ORDER_MODES,
+)
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import TriplePattern
+from repro.stats.catalog import StatsCatalog
+
+
+class Optimizer:
+    """Catalog + estimator + planner + executor, ready to hand an engine."""
+
+    def __init__(
+        self,
+        catalog: StatsCatalog,
+        mode: str = "dp",
+        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+        enable_broadcast: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.estimator = CardinalityEstimator(catalog)
+        self.planner = JoinPlanner(
+            self.estimator,
+            mode=mode,
+            broadcast_threshold=broadcast_threshold,
+            enable_broadcast=enable_broadcast,
+        )
+
+    @classmethod
+    def for_graph(
+        cls, graph: RDFGraph, version: int = 0, **kwargs
+    ) -> "Optimizer":
+        """Build the catalog from *graph* and wrap it in an optimizer."""
+        return cls(StatsCatalog.from_graph(graph, version=version), **kwargs)
+
+    @property
+    def mode(self) -> str:
+        return self.planner.mode
+
+    @property
+    def stats_version(self) -> int:
+        """The graph version the statistics were computed at."""
+        return self.catalog.version
+
+    def plan_bgp(self, patterns: Sequence[TriplePattern]) -> BgpPlan:
+        return self.planner.plan(patterns)
+
+    def execute_bgp(self, engine, patterns: Sequence[TriplePattern]):
+        """Plan and execute one BGP on *engine* (the base-class hook).
+
+        With tracing on, planning is bracketed by an ``optimize`` span
+        whose attrs carry the chosen order and per-step strategies.
+        """
+        tracer = engine.ctx.tracer
+        if tracer.enabled:
+            with tracer.span("optimize", name=self.mode) as span:
+                plan = self.plan_bgp(patterns)
+                if span is not None:
+                    span.attrs.update(plan.describe())
+        else:
+            plan = self.plan_bgp(patterns)
+        return execute_plan(engine, plan)
+
+    def __repr__(self) -> str:
+        return "Optimizer(mode=%s, stats_version=%d, threshold=%d)" % (
+            self.mode,
+            self.stats_version,
+            self.planner.broadcast_threshold,
+        )
+
+
+__all__ = [
+    "BgpPlan",
+    "CardinalityEstimator",
+    "DEFAULT_BROADCAST_THRESHOLD",
+    "JoinPlanner",
+    "JoinStep",
+    "ORDER_MODES",
+    "Optimizer",
+    "collect_q_errors",
+    "execute_plan",
+    "q_error",
+]

@@ -1,0 +1,189 @@
+"""Executes a :class:`~repro.optimizer.planner.BgpPlan` on any engine.
+
+The executor only asks an engine for what every engine already provides:
+``_evaluate_bgp([pattern])`` -- the bindings of one triple pattern through
+the engine's own storage and partitioning (the same call the shared
+DESCRIBE path uses).  Everything after the leaf scans runs on the common
+RDD machinery, so the physical strategy the planner picked is charged to
+the simulated cluster's real counters:
+
+``shuffle`` / ``local``
+    Both sides are keyed by the join variables and hash-joined.  The
+    accumulated side stays *keyed and partitioned* between steps
+    (``mapValues`` preserves partitioning), so a ``local`` step's
+    ``partitionBy`` is a genuine no-op -- only the fresh side moves.
+``broadcast``
+    The fresh pattern's bindings are collected, broadcast
+    (``broadcast_bytes`` charged), and probed partition-locally on the
+    accumulated side without disturbing its keying or partitioning.
+``cartesian``
+    The nested-loop product, for disconnected BGPs.
+
+Tracing: with the context tracer enabled, every step emits a ``bgp_step``
+span (name = strategy) carrying ``est_rows`` and, because the step's
+output is materialized inside the span, ``actual_rows`` -- the pair the
+q-error accounting (:func:`collect_q_errors`) and EXPLAIN read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.spark.partitioner import HashPartitioner
+from repro.spark.rdd import RDD
+from repro.spark.tracing import Span
+from repro.optimizer.planner import BgpPlan, JoinStep
+
+Binding = Dict[str, object]
+
+
+def _key_func(names: Tuple[str, ...]):
+    def key_of(binding: Binding):
+        return tuple(binding[name] for name in names)
+
+    return key_of
+
+
+class _State:
+    """The accumulated side: a bindings RDD, keyed when *key* is set."""
+
+    def __init__(self, rdd: RDD, key: Optional[Tuple[str, ...]] = None):
+        self.rdd = rdd
+        self.key = key
+
+    def bindings(self) -> RDD:
+        """The plain bindings view (drops keying, costs nothing extra)."""
+        return self.rdd.values() if self.key is not None else self.rdd
+
+    def keyed_by(self, names: Tuple[str, ...]) -> RDD:
+        """The (key, binding) view for the given join variables."""
+        if self.key == names:
+            return self.rdd
+        return self.bindings().map(
+            lambda b, key_of=_key_func(names): (key_of(b), b)
+        )
+
+
+def execute_plan(engine, plan: BgpPlan) -> RDD:
+    """Run *plan* on *engine*, returning an RDD of bindings."""
+    ctx = engine.ctx
+    tracer = ctx.tracer
+    state: Optional[_State] = None
+    for step in plan.steps:
+        if not tracer.enabled:
+            state = _apply_step(engine, state, step)
+            continue
+        with tracer.span(
+            "bgp_step",
+            name=step.strategy,
+            **_step_attrs(step),
+        ) as span:
+            state = _apply_step(engine, state, step)
+            state.rdd.cache()
+            rows = state.rdd.count()
+            if span is not None:
+                span.attrs["actual_rows"] = rows
+    assert state is not None
+    return state.bindings()
+
+
+def _step_attrs(step: JoinStep) -> Dict[str, object]:
+    attrs: Dict[str, object] = {"est_rows": round(step.est_rows, 2)}
+    if step.strategy == "scan":
+        attrs["pattern"] = repr(step.pattern)
+    else:
+        attrs["on"] = ",".join(step.shared)
+        attrs["est_build"] = round(step.est_build, 2)
+    return attrs
+
+
+def _apply_step(engine, state: Optional[_State], step: JoinStep) -> _State:
+    fresh = engine._evaluate_bgp([step.pattern])
+    if state is None:
+        return _State(fresh)
+    if step.strategy == "cartesian":
+        product = state.bindings().cartesian(fresh)
+        return _State(product.map(lambda pair: {**pair[0], **pair[1]}))
+    if step.strategy == "broadcast":
+        return _broadcast_join(engine.ctx, state, fresh, step.shared)
+    return _partitioned_join(engine.ctx, state, fresh, step.shared)
+
+
+def _partitioned_join(
+    ctx, state: _State, fresh: RDD, shared: Tuple[str, ...]
+) -> _State:
+    """The shuffle hash join; a no-op shuffle on the accumulated side when
+    it is already partitioned on *shared* (the planner's ``local`` case)."""
+    left = state.keyed_by(shared)
+    right = fresh.map(lambda b, key_of=_key_func(shared): (key_of(b), b))
+    joined = left.join(right, num_partitions=ctx.default_parallelism)
+    merged = joined.mapValues(lambda lr: {**lr[0], **lr[1]})
+    return _State(merged, key=shared)
+
+
+def _broadcast_join(
+    ctx, state: _State, fresh: RDD, shared: Tuple[str, ...]
+) -> _State:
+    """Broadcast the fresh side; probe the accumulated side in place."""
+    key_of = _key_func(shared)
+    build: Dict[Tuple[object, ...], List[Binding]] = {}
+    for part in fresh._materialize():
+        for binding in part:
+            build.setdefault(key_of(binding), []).append(binding)
+    bcast = ctx.broadcast(build)
+    metrics = ctx.metrics
+    keyed = state.key is not None
+
+    def probe(part: List[object]) -> List[object]:
+        table = bcast.value
+        out: List[object] = []
+        comparisons = 0
+        for item in part:
+            binding = item[1] if keyed else item
+            matches = table.get(key_of(binding))
+            if matches:
+                comparisons += len(matches)
+                for build_binding in matches:
+                    merged = {**binding, **build_binding}
+                    out.append((item[0], merged) if keyed else merged)
+            else:
+                comparisons += 1
+        metrics.record_join(comparisons, len(part), len(out))
+        return out
+
+    probed = state.rdd.mapPartitions(probe, preserves_partitioning=True)
+    return _State(probed, key=state.key)
+
+
+# ----------------------------------------------------------------------
+# q-error accounting
+# ----------------------------------------------------------------------
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric under/over-estimation factor, smoothed at one row."""
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+def collect_q_errors(spans: Sequence[Span]) -> List[Tuple[str, float]]:
+    """(strategy, q-error) for every traced optimizer step with both an
+    estimate and an actual count."""
+    out: List[Tuple[str, float]] = []
+    for root in spans:
+        for span in root.walk():
+            if span.kind != "bgp_step":
+                continue
+            if "est_rows" not in span.attrs or "actual_rows" not in span.attrs:
+                continue
+            out.append(
+                (
+                    span.name,
+                    q_error(
+                        float(span.attrs["est_rows"]),
+                        float(span.attrs["actual_rows"]),
+                    ),
+                )
+            )
+    return out

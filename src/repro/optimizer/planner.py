@@ -1,0 +1,275 @@
+"""Selinger-style left-deep join ordering with physical strategy selection.
+
+The planner turns a BGP (a list of triple patterns) into a
+:class:`BgpPlan`: an execution order plus, for every join step, the
+physical strategy the executor should use.
+
+Ordering modes (the ablation axis of ``benchmarks/bench_optimizer.py``):
+
+``dp``
+    Selinger dynamic programming over left-deep trees.  The cost of an
+    order is the classic ``C_out``: the sum of the estimated cardinalities
+    of every intermediate result.  Extensions that share a variable with
+    the prefix are preferred; a cartesian extension is considered only
+    when no connected one exists.  Ties break on the lexicographically
+    smallest index sequence, so plans are deterministic.
+``greedy``
+    SPARQLGX's heuristic: start from the most selective pattern, then
+    repeatedly append the connected pattern with the smallest estimate.
+``parse``
+    The patterns exactly as written -- the no-statistics baseline.
+
+Physical strategies per join step:
+
+``broadcast``
+    Chosen **iff** the estimated build side (the fresh pattern's scan) is
+    strictly under ``broadcast_threshold`` rows (and broadcasts are
+    enabled).  The probe side is never shuffled.
+``local``
+    The accumulated side is already hash-partitioned on exactly this join
+    key (a previous shuffle on the same key), so only the fresh side
+    moves -- the co-partitioned join HAQWA's subject hashing banks on.
+``shuffle``
+    The partitioned hash join: both sides shuffle to a common partitioner.
+``cartesian``
+    No shared variable (only when the BGP is disconnected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.sparql.ast import TriplePattern
+
+#: Default broadcast threshold in estimated build-side rows.  Sized so the
+#: small vertical partitions of the test workloads broadcast while full
+#: scans of anything dataset-sized do not.
+DEFAULT_BROADCAST_THRESHOLD = 64
+
+#: Past this many patterns, exact DP (2^n subsets) yields to greedy.
+MAX_DP_PATTERNS = 12
+
+ORDER_MODES = ("dp", "greedy", "parse")
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One step of a left-deep BGP plan.
+
+    The first step is always the ``scan`` of the first pattern; every
+    later step joins the accumulated prefix with one fresh pattern.
+    """
+
+    index: int  # position in the original pattern list
+    pattern: TriplePattern
+    shared: Tuple[str, ...]  # join variables with the prefix (sorted)
+    strategy: str  # scan | broadcast | local | shuffle | cartesian
+    est_build: float  # estimated rows of this pattern's scan
+    est_rows: float  # estimated rows after this step
+
+
+@dataclass
+class BgpPlan:
+    """An ordered, physically annotated plan for one BGP."""
+
+    steps: List[JoinStep]
+    mode: str
+    broadcast_threshold: int
+
+    @property
+    def order(self) -> List[int]:
+        return [step.index for step in self.steps]
+
+    @property
+    def est_rows(self) -> float:
+        return self.steps[-1].est_rows if self.steps else 1.0
+
+    def describe(self) -> Dict[str, object]:
+        """Compact JSON-ready description (the ``optimize`` span attrs)."""
+        return {
+            "mode": self.mode,
+            "order": ",".join(str(i) for i in self.order),
+            "strategies": ",".join(s.strategy for s in self.steps),
+            "est_rows": round(self.est_rows, 2),
+        }
+
+
+class JoinPlanner:
+    """Builds :class:`BgpPlan` objects from catalog-backed estimates."""
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        mode: str = "dp",
+        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+        enable_broadcast: bool = True,
+    ) -> None:
+        if mode not in ORDER_MODES:
+            raise ValueError(
+                "unknown order mode %r; choose one of %s"
+                % (mode, ", ".join(ORDER_MODES))
+            )
+        if broadcast_threshold <= 0:
+            raise ValueError("broadcast_threshold must be positive")
+        self.estimator = estimator
+        self.mode = mode
+        self.broadcast_threshold = broadcast_threshold
+        self.enable_broadcast = enable_broadcast
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def plan(self, patterns: Sequence[TriplePattern]) -> BgpPlan:
+        patterns = list(patterns)
+        if not patterns:
+            return BgpPlan([], self.mode, self.broadcast_threshold)
+        if self.mode == "parse":
+            order = list(range(len(patterns)))
+        elif self.mode == "greedy" or len(patterns) > MAX_DP_PATTERNS:
+            order = self._greedy_order(patterns)
+        else:
+            order = self._dp_order(patterns)
+        return BgpPlan(
+            self._annotate(patterns, order),
+            self.mode,
+            self.broadcast_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+
+    def _greedy_order(self, patterns: List[TriplePattern]) -> List[int]:
+        """Most selective first, then smallest connected next."""
+        estimate = self.estimator.pattern_cardinality
+        remaining = sorted(
+            range(len(patterns)), key=lambda i: (estimate(patterns[i]), i)
+        )
+        order = [remaining.pop(0)]
+        bound = {v.name for v in patterns[order[0]].variables()}
+        while remaining:
+            connected = [
+                i
+                for i in remaining
+                if bound & {v.name for v in patterns[i].variables()}
+            ]
+            chosen = connected[0] if connected else remaining[0]
+            remaining.remove(chosen)
+            order.append(chosen)
+            bound |= {v.name for v in patterns[chosen].variables()}
+        return order
+
+    def _dp_order(self, patterns: List[TriplePattern]) -> List[int]:
+        """Left-deep Selinger DP minimizing the sum of intermediate rows."""
+        n = len(patterns)
+        variables = [
+            frozenset(v.name for v in p.variables()) for p in patterns
+        ]
+
+        cardinality: Dict[FrozenSet[int], float] = {}
+
+        def subset_rows(subset: FrozenSet[int]) -> float:
+            if subset not in cardinality:
+                cardinality[subset] = self.estimator.subset_cardinality(
+                    [patterns[i] for i in sorted(subset)]
+                )
+            return cardinality[subset]
+
+        # best[subset] = (cost, order tuple); cost excludes the first scan
+        # (every order pays it) and sums every intermediate cardinality.
+        best: Dict[FrozenSet[int], Tuple[float, Tuple[int, ...]]] = {
+            frozenset((i,)): (0.0, (i,)) for i in range(n)
+        }
+        for size in range(2, n + 1):
+            level: Dict[FrozenSet[int], Tuple[float, Tuple[int, ...]]] = {}
+            for subset, (cost, order) in best.items():
+                if len(subset) != size - 1:
+                    continue
+                bound = frozenset().union(*(variables[i] for i in subset))
+                connected = [
+                    i
+                    for i in range(n)
+                    if i not in subset and bound & variables[i]
+                ]
+                extensions = connected or [
+                    i for i in range(n) if i not in subset
+                ]
+                for i in extensions:
+                    grown = subset | {i}
+                    candidate = (
+                        cost + subset_rows(grown),
+                        order + (i,),
+                    )
+                    incumbent = level.get(grown)
+                    if incumbent is None or candidate < incumbent:
+                        level[grown] = candidate
+            best = {
+                subset: value
+                for subset, value in best.items()
+                if len(subset) != size - 1
+            }
+            best.update(level)
+        return list(best[frozenset(range(n))][1])
+
+    # ------------------------------------------------------------------
+    # Physical annotation
+    # ------------------------------------------------------------------
+
+    def _annotate(
+        self, patterns: List[TriplePattern], order: List[int]
+    ) -> List[JoinStep]:
+        estimator = self.estimator
+        steps: List[JoinStep] = []
+        prefix: List[TriplePattern] = []
+        bound: set = set()
+        current_key: Optional[Tuple[str, ...]] = None
+        for position, index in enumerate(order):
+            pattern = patterns[index]
+            est_build = estimator.pattern_cardinality(pattern)
+            if position == 0:
+                steps.append(
+                    JoinStep(
+                        index=index,
+                        pattern=pattern,
+                        shared=(),
+                        strategy="scan",
+                        est_build=est_build,
+                        est_rows=est_build,
+                    )
+                )
+            else:
+                shared = tuple(
+                    sorted(bound & {v.name for v in pattern.variables()})
+                )
+                est_rows = estimator.subset_cardinality(prefix + [pattern])
+                if not shared:
+                    strategy = "cartesian"
+                    current_key = None
+                elif (
+                    self.enable_broadcast
+                    and est_build < self.broadcast_threshold
+                ):
+                    # Broadcast never touches the accumulated side, so its
+                    # partitioning (current_key) survives untouched.
+                    strategy = "broadcast"
+                elif current_key == shared:
+                    strategy = "local"
+                else:
+                    strategy = "shuffle"
+                    current_key = shared
+                steps.append(
+                    JoinStep(
+                        index=index,
+                        pattern=pattern,
+                        shared=shared,
+                        strategy=strategy,
+                        est_build=est_build,
+                        est_rows=est_rows,
+                    )
+                )
+            prefix.append(pattern)
+            bound |= {v.name for v in pattern.variables()}
+        return steps

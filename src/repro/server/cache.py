@@ -99,26 +99,36 @@ class PlanCache:
     ``get_or_parse`` is the only entry point; it reports hit/miss to the
     *metrics* collector passed by the service (kept out of the cache's
     constructor so the cache is reusable without a service).
+
+    When the service runs with a cost-based optimizer, the statistics
+    version joins the key: a plan cached under stale statistics must not
+    be reused after a commit refreshes the catalog, since the (future)
+    cached physical plan would embed a stale join order.  Today only the
+    parsed AST is cached, but keying on ``stats_version`` now keeps the
+    invariant simple and already-tested.
     """
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity <= 0:
             raise ValueError("plan cache capacity must be positive")
         self.capacity = capacity
-        self._plans: "OrderedDict[str, Query]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple[int, str], Query]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._plans)
 
-    def get_or_parse(self, normalized: str, metrics=None) -> Tuple[Query, bool]:
+    def get_or_parse(
+        self, normalized: str, metrics=None, stats_version: int = 0
+    ) -> Tuple[Query, bool]:
         """(parsed query, was_hit) for one normalized query text."""
-        plan = self._plans.get(normalized)
+        key = (stats_version, normalized)
+        plan = self._plans.get(key)
         hit = plan is not None
         if hit:
-            self._plans.move_to_end(normalized)
+            self._plans.move_to_end(key)
         else:
             plan = parse_sparql(normalized)
-            self._plans[normalized] = plan
+            self._plans[key] = plan
             if len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
         if metrics is not None:

@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.rdf.graph import RDFGraph
 from repro.evolution.versioned import VersionedGraph
+from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, Optimizer
 from repro.rdf.triple import Triple
 from repro.runtime import build_engine, resolve_engine
 from repro.server.admission import FairShareQueue
@@ -122,6 +123,9 @@ class QueryService:
         faults: Union[None, str, FaultScheduler] = None,
         max_task_attempts: int = 4,
         speculation: bool = False,
+        optimize: bool = False,
+        optimizer_mode: str = "dp",
+        broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
@@ -146,13 +150,28 @@ class QueryService:
         self._faults = faults
         self._max_task_attempts = max_task_attempts
         self._speculation = speculation
+        self._optimize = optimize
+        self._optimizer_mode = optimizer_mode
+        self._broadcast_threshold = broadcast_threshold
+        self.optimizer: Optional[Optimizer] = None
+        if optimize:
+            self.optimizer = self._build_optimizer()
         self.pool = [
             self._build_worker() for _ in range(pool_size)
         ]
         self._round_robin = 0
 
+    def _build_optimizer(self) -> Optimizer:
+        """One shared optimizer over statistics at the current head."""
+        return Optimizer.for_graph(
+            self.versions.head(),
+            version=self.versions.head_version,
+            mode=self._optimizer_mode,
+            broadcast_threshold=self._broadcast_threshold,
+        )
+
     def _build_worker(self):
-        return build_engine(
+        engine = build_engine(
             self.engine_name,
             self.versions.head(),
             parallelism=self.parallelism,
@@ -160,6 +179,9 @@ class QueryService:
             max_task_attempts=self._max_task_attempts,
             speculation=self._speculation,
         )
+        if self.optimizer is not None:
+            engine.set_optimizer(self.optimizer)
+        return engine
 
     def _fault_schedule(self) -> Union[None, FaultScheduler]:
         """A fresh, equivalent scheduler per worker (as BenchRun does)."""
@@ -181,6 +203,17 @@ class QueryService:
     @property
     def pool_size(self) -> int:
         return len(self.pool)
+
+    @property
+    def stats_version(self) -> int:
+        """The graph version the optimizer statistics were computed at.
+
+        0 when the service runs unoptimized -- the plan-cache key is then
+        constant, which degenerates to the pre-optimizer behavior.
+        """
+        if self.optimizer is None:
+            return 0
+        return self.optimizer.stats_version
 
     # ------------------------------------------------------------------
     # Query path
@@ -226,7 +259,7 @@ class QueryService:
         if self.enable_plan_cache:
             try:
                 plan, plan_hit = self.plan_cache.get_or_parse(
-                    normalized, self.metrics
+                    normalized, self.metrics, stats_version=self.stats_version
                 )
             except ValueError as exc:
                 outcome.status = "error"
@@ -319,8 +352,14 @@ class QueryService:
         version = self.versions.commit(additions, deletions)
         dropped = self.result_cache.invalidate_below(version, self.metrics)
         head = self.versions.head()
+        if self.optimizer is not None:
+            # Refresh statistics at the new head; the bumped stats version
+            # retires every plan-cache entry keyed under the old catalog.
+            self.optimizer = self._build_optimizer()
         for engine in self.pool:
             engine.load(head)
+            if self.optimizer is not None:
+                engine.set_optimizer(self.optimizer)
         return version, dropped
 
     # ------------------------------------------------------------------
@@ -334,6 +373,8 @@ class QueryService:
             "engine": self.engine_name,
             "pool_size": self.pool_size,
             "version": self.version,
+            "optimizer": self._optimizer_mode if self.optimizer else None,
+            "stats_version": self.stats_version,
             "plan_cache_entries": len(self.plan_cache),
             "result_cache_entries": len(self.result_cache),
             "counters": {name: value for name, value in snapshot if value},

@@ -134,7 +134,11 @@ def execute(plan: LogicalPlan, session) -> DataFrame:
     tracer = session.ctx.tracer
     if not tracer.enabled:
         return _execute_node(plan, session)
-    with tracer.span("sql", name=type(plan).__name__, **_plan_attrs(plan)):
+    from repro.spark.sql.catalyst import estimated_rows
+
+    attrs = _plan_attrs(plan)
+    attrs["est_rows"] = estimated_rows(plan, session)
+    with tracer.span("sql", name=type(plan).__name__, **attrs):
         df = _execute_node(plan, session)
         df.rdd.cache()
         df.rdd.count()

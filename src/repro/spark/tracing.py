@@ -29,9 +29,17 @@ Span kinds emitted by the substrate and the shared driver:
     Root span around one :meth:`SparkRdfEngine.execute` call.
 ``bgp`` / ``join`` / ``leftjoin`` / ``union`` / ``filter``
     One per SPARQL algebra operator evaluated by the shared driver.
+``optimize``
+    Cost-based planning of one BGP (:mod:`repro.optimizer`); name is the
+    ordering mode, attrs carry the chosen order, the per-step physical
+    strategies and the final cardinality estimate.
 ``bgp_step``
-    One incremental pattern join inside an engine's BGP evaluator
-    (:func:`repro.systems.base.join_binding_rdds`).
+    One incremental pattern join inside a BGP evaluation.  On the native
+    path (:func:`repro.systems.base.join_binding_rdds`) the name is
+    ``hash`` or ``cartesian``; on the optimized path the name is the
+    physical strategy (``scan``/``broadcast``/``local``/``shuffle``/
+    ``cartesian``) and attrs carry ``est_rows``/``actual_rows`` (the
+    q-error inputs) plus ``est_build`` for join steps.
 ``sql``
     One per logical plan node executed by the Spark-SQL executor.
 ``shuffle``

@@ -249,6 +249,16 @@ def apply_solution_modifiers(
 ) -> SolutionSet:
     """ORDER BY -> projection -> DISTINCT -> OFFSET/LIMIT, per the spec."""
     ordered = list(solutions)
+    if query.order_by:
+        # SPARQL leaves tie order unspecified; pin it to the canonical
+        # full-row order (the sorts below are stable) so every engine and
+        # every physical plan serializes ORDER BY results byte-identically.
+        ordered.sort(
+            key=lambda s: tuple(
+                (name, term.sort_key())
+                for name, term in sorted(s.items(), key=lambda kv: kv[0])
+            )
+        )
     for variable, ascending in reversed(query.order_by):
         ordered.sort(
             key=lambda s: (

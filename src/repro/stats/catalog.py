@@ -1,0 +1,355 @@
+"""The statistics catalog: one pass over a graph, shared by every planner.
+
+The paper's optimization claims all rest on statistics the systems gather
+privately: SPARQLGX counts distinct subjects/predicates/objects to reorder
+joins (Section IV-A1), S2RDF precomputes ExtVP selectivity factors for
+predicate pairs (Section IV-A2), and the characteristic-set idea (Neumann &
+Moerkotte) estimates star-shaped sub-queries from the predicate combinations
+subjects actually exhibit.  A :class:`StatsCatalog` computes all three
+families in one pass over a loaded :class:`~repro.rdf.graph.RDFGraph`:
+
+* **totals** -- triple count and distinct subject/predicate/object counts;
+* **per-predicate stats** -- triple count plus distinct subject and object
+  counts for each predicate (the vertical-partition "file sizes");
+* **characteristic sets** -- subjects grouped by the exact set of predicates
+  they carry, with per-predicate occurrence totals, for star estimation;
+* **pair selectivities** -- ExtVP-style SS/SO/OS factors: the fraction of a
+  predicate's triples that survive a semi-join with another predicate on
+  the given columns (only factors below 1.0 are stored, like S2RDF's
+  ``sf_threshold`` keeps only the reductions worth materializing).
+
+Determinism: keys are N3 strings, every collection is sorted before
+serialization, floats are rounded to six places, and :meth:`to_json` uses
+sorted-key JSON -- two builds over the same graph are byte-identical.
+
+Versioning: the catalog carries the
+:class:`~repro.evolution.versioned.VersionedGraph` version it was computed
+at, so the query service can refresh it on every commit and key its plan
+cache on the statistics generation actually used for planning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdf.graph import RDFGraph
+
+#: Pair-selectivity join kinds, following S2RDF's ExtVP table families:
+#: ``ss`` compares subject(p1) with subject(p2), ``so`` subject(p1) with
+#: object(p2), ``os`` object(p1) with subject(p2).
+PAIR_KINDS = ("ss", "so", "os")
+
+#: Pair selectivities are O(predicates^2); beyond this many predicates the
+#: catalog skips them (the estimator then falls back to independence).
+MAX_PAIR_PREDICATES = 64
+
+#: Bumped when the serialized catalog layout changes incompatibly.
+CATALOG_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PredicateStats:
+    """Counts for one predicate's vertical partition."""
+
+    count: int
+    distinct_subjects: int
+    distinct_objects: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "count": self.count,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_objects": self.distinct_objects,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "PredicateStats":
+        return cls(
+            count=data["count"],
+            distinct_subjects=data["distinct_subjects"],
+            distinct_objects=data["distinct_objects"],
+        )
+
+
+@dataclass(frozen=True)
+class CharacteristicSet:
+    """One group of subjects sharing the exact same predicate set.
+
+    *subjects* is how many subjects exhibit exactly these predicates;
+    *occurrences* maps each predicate (N3) to the total number of triples
+    those subjects carry for it, so ``occurrences[p] / subjects`` is the
+    mean multiplicity used in star estimation.
+    """
+
+    predicates: Tuple[str, ...]
+    subjects: int
+    occurrences: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "predicates": list(self.predicates),
+            "subjects": self.subjects,
+            "occurrences": dict(sorted(self.occurrences.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CharacteristicSet":
+        return cls(
+            predicates=tuple(data["predicates"]),
+            subjects=int(data["subjects"]),
+            occurrences={k: int(v) for k, v in data["occurrences"].items()},
+        )
+
+
+class StatsCatalog:
+    """Graph statistics for cardinality estimation, built in one pass."""
+
+    def __init__(
+        self,
+        version: int = 0,
+        triples: int = 0,
+        distinct_subjects: int = 0,
+        distinct_predicates: int = 0,
+        distinct_objects: int = 0,
+        predicates: Optional[Dict[str, PredicateStats]] = None,
+        characteristic_sets: Optional[List[CharacteristicSet]] = None,
+        pair_selectivity: Optional[Dict[Tuple[str, str, str], float]] = None,
+    ) -> None:
+        self.version = version
+        self.triples = triples
+        self.distinct_subjects = distinct_subjects
+        self.distinct_predicates = distinct_predicates
+        self.distinct_objects = distinct_objects
+        self.predicates: Dict[str, PredicateStats] = dict(predicates or {})
+        self.characteristic_sets: List[CharacteristicSet] = list(
+            characteristic_sets or []
+        )
+        #: (kind, p1 n3, p2 n3) -> fraction of p1's triples surviving the
+        #: semi-join with p2 on the columns *kind* names; 1.0 when absent.
+        self.pair_selectivity: Dict[Tuple[str, str, str], float] = dict(
+            pair_selectivity or {}
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: RDFGraph, version: int = 0) -> "StatsCatalog":
+        """Compute every statistic in a single pass over *graph*."""
+        pred_count: Dict[str, int] = {}
+        # Per predicate: subject -> multiplicity and object -> multiplicity
+        # (multiplicities make the triple-level selectivity factors exact).
+        pred_subjects: Dict[str, Dict[object, int]] = {}
+        pred_objects: Dict[str, Dict[object, int]] = {}
+        # Per subject: predicate n3 -> triple count (characteristic sets).
+        subject_preds: Dict[object, Dict[str, int]] = {}
+
+        for triple in graph:
+            p = triple.predicate.n3()
+            pred_count[p] = pred_count.get(p, 0) + 1
+            subs = pred_subjects.setdefault(p, {})
+            subs[triple.subject] = subs.get(triple.subject, 0) + 1
+            objs = pred_objects.setdefault(p, {})
+            objs[triple.object] = objs.get(triple.object, 0) + 1
+            per_subject = subject_preds.setdefault(triple.subject, {})
+            per_subject[p] = per_subject.get(p, 0) + 1
+
+        predicates = {
+            p: PredicateStats(
+                count=pred_count[p],
+                distinct_subjects=len(pred_subjects[p]),
+                distinct_objects=len(pred_objects[p]),
+            )
+            for p in pred_count
+        }
+
+        # Characteristic sets: subjects grouped by their exact predicate set.
+        grouped: Dict[Tuple[str, ...], Dict[str, object]] = {}
+        for per_subject in subject_preds.values():
+            key = tuple(sorted(per_subject))
+            entry = grouped.setdefault(key, {"subjects": 0, "occ": {}})
+            entry["subjects"] += 1
+            occ: Dict[str, int] = entry["occ"]  # type: ignore[assignment]
+            for p, count in per_subject.items():
+                occ[p] = occ.get(p, 0) + count
+        characteristic_sets = [
+            CharacteristicSet(
+                predicates=key,
+                subjects=entry["subjects"],  # type: ignore[arg-type]
+                occurrences=dict(entry["occ"]),  # type: ignore[arg-type]
+            )
+            for key, entry in sorted(grouped.items())
+        ]
+
+        pair_selectivity = cls._pair_selectivities(
+            pred_count, pred_subjects, pred_objects
+        )
+
+        return cls(
+            version=version,
+            triples=len(graph),
+            distinct_subjects=len(graph.subjects()),
+            distinct_predicates=len(graph.predicates()),
+            distinct_objects=len(graph.objects()),
+            predicates=predicates,
+            characteristic_sets=characteristic_sets,
+            pair_selectivity=pair_selectivity,
+        )
+
+    @staticmethod
+    def _pair_selectivities(
+        pred_count: Dict[str, int],
+        pred_subjects: Dict[str, Dict[object, int]],
+        pred_objects: Dict[str, Dict[object, int]],
+    ) -> Dict[Tuple[str, str, str], float]:
+        """ExtVP factors: fraction of p1's triples joining p2 per kind."""
+        if len(pred_count) > MAX_PAIR_PREDICATES:
+            return {}
+        out: Dict[Tuple[str, str, str], float] = {}
+        names = sorted(pred_count)
+        for p1 in names:
+            for p2 in names:
+                if p1 == p2:
+                    continue
+                for kind in PAIR_KINDS:
+                    left = pred_subjects if kind in ("ss", "so") else pred_objects
+                    right = pred_subjects if kind in ("ss", "os") else pred_objects
+                    other = right[p2]
+                    surviving = sum(
+                        mult
+                        for term, mult in left[p1].items()
+                        if term in other
+                    )
+                    factor = surviving / pred_count[p1]
+                    if factor < 1.0:
+                        out[(kind, p1, p2)] = round(factor, 6)
+        return out
+
+    # ------------------------------------------------------------------
+    # Estimation accessors
+    # ------------------------------------------------------------------
+
+    def predicate_count(self, predicate_n3: str) -> int:
+        """Triples carrying this predicate (0 when absent)."""
+        stats = self.predicates.get(predicate_n3)
+        return stats.count if stats is not None else 0
+
+    def predicate_stats(self, predicate_n3: str) -> Optional[PredicateStats]:
+        return self.predicates.get(predicate_n3)
+
+    def selectivity(self, kind: str, p1_n3: str, p2_n3: str) -> float:
+        """Fraction of p1's triples surviving the *kind* semi-join with p2."""
+        if kind not in PAIR_KINDS:
+            raise ValueError("unknown pair kind %r" % kind)
+        return self.pair_selectivity.get((kind, p1_n3, p2_n3), 1.0)
+
+    def star_cardinality(self, predicate_n3s: List[str]) -> Optional[float]:
+        """Characteristic-set estimate for a subject star over bound
+        predicates: rows produced by joining the stars' vertical partitions
+        on the shared subject.  ``None`` when no statistics apply (an
+        unknown predicate or an empty catalog)."""
+        wanted = sorted(set(predicate_n3s))
+        if not wanted or not self.characteristic_sets:
+            return None
+        if any(p not in self.predicates for p in wanted):
+            return None
+        total = 0.0
+        for cs in self.characteristic_sets:
+            if not set(wanted) <= set(cs.predicates):
+                continue
+            rows = float(cs.subjects)
+            for p in predicate_n3s:  # repeated predicates multiply again
+                rows *= cs.occurrences[p] / cs.subjects
+            total += rows
+        return total
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready dict; every collection sorted for byte determinism."""
+        return {
+            "format": CATALOG_FORMAT_VERSION,
+            "version": self.version,
+            "totals": {
+                "triples": self.triples,
+                "distinct_subjects": self.distinct_subjects,
+                "distinct_predicates": self.distinct_predicates,
+                "distinct_objects": self.distinct_objects,
+            },
+            "predicates": {
+                p: stats.to_dict()
+                for p, stats in sorted(self.predicates.items())
+            },
+            "characteristic_sets": [
+                cs.to_dict()
+                for cs in sorted(
+                    self.characteristic_sets, key=lambda c: c.predicates
+                )
+            ],
+            "pair_selectivity": {
+                "%s %s %s" % key: factor
+                for key, factor in sorted(self.pair_selectivity.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return (
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "StatsCatalog":
+        if payload.get("format") != CATALOG_FORMAT_VERSION:
+            raise ValueError(
+                "unsupported catalog format %r (expected %d)"
+                % (payload.get("format"), CATALOG_FORMAT_VERSION)
+            )
+        totals = payload["totals"]
+        pair_selectivity: Dict[Tuple[str, str, str], float] = {}
+        for key, factor in payload["pair_selectivity"].items():
+            kind, p1, p2 = key.split(" ")
+            pair_selectivity[(kind, p1, p2)] = float(factor)
+        return cls(
+            version=int(payload["version"]),
+            triples=int(totals["triples"]),
+            distinct_subjects=int(totals["distinct_subjects"]),
+            distinct_predicates=int(totals["distinct_predicates"]),
+            distinct_objects=int(totals["distinct_objects"]),
+            predicates={
+                p: PredicateStats.from_dict(stats)
+                for p, stats in payload["predicates"].items()
+            },
+            characteristic_sets=[
+                CharacteristicSet.from_dict(cs)
+                for cs in payload["characteristic_sets"]
+            ],
+            pair_selectivity=pair_selectivity,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "StatsCatalog":
+        return cls.from_payload(json.loads(text))
+
+    def summary(self) -> Dict[str, int]:
+        """The headline numbers (the ``stats`` CLI table)."""
+        return {
+            "version": self.version,
+            "triples": self.triples,
+            "distinct_subjects": self.distinct_subjects,
+            "distinct_predicates": self.distinct_predicates,
+            "distinct_objects": self.distinct_objects,
+            "characteristic_sets": len(self.characteristic_sets),
+            "selectivity_pairs": len(self.pair_selectivity),
+        }
+
+    def __repr__(self) -> str:
+        return "StatsCatalog(version=%d, triples=%d, predicates=%d)" % (
+            self.version,
+            self.triples,
+            len(self.predicates),
+        )

@@ -186,6 +186,16 @@ class SparkRdfEngine:
     def __init__(self, ctx: Optional[SparkContext] = None) -> None:
         self.ctx = ctx or SparkContext()
         self._loaded = False
+        #: Opt-in cost-based planner (see :mod:`repro.optimizer`).  When
+        #: set, multi-pattern BGPs are ordered and physically planned by
+        #: the shared optimizer instead of the engine's own heuristics;
+        #: ``None`` keeps the engine's native path (the ablation baseline).
+        self.optimizer = None
+
+    def set_optimizer(self, optimizer) -> "SparkRdfEngine":
+        """Attach (or detach, with ``None``) the shared cost-based planner."""
+        self.optimizer = optimizer
+        return self
 
     # ------------------------------------------------------------------
     # Loading
@@ -322,6 +332,8 @@ class SparkRdfEngine:
         if isinstance(node, BGP):
             if not node.patterns:
                 return self.ctx.parallelize([{}], 1)
+            if self.optimizer is not None and len(node.patterns) > 1:
+                return self.optimizer.execute_bgp(self, node.patterns)
             return self._evaluate_bgp(node.patterns)
         if isinstance(node, AlgebraJoin):
             left = self._evaluate_node(node.left)

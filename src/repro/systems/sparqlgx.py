@@ -31,6 +31,7 @@ from repro.rdf.graph import RDFGraph
 from repro.rdf.terms import Term
 from repro.spark.rdd import RDD
 from repro.sparql.ast import TriplePattern, Variable
+from repro.stats import StatsCatalog
 from repro.sparql.fragments import (
     FEATURE_BGP,
     FEATURE_DISTINCT,
@@ -84,7 +85,6 @@ class SparqlgxEngine(SparkRdfEngine):
     def _build(self, graph: RDFGraph) -> None:
         # One "file" (RDD) per predicate, holding (s, o) pairs only.
         self.vp_tables: Dict[Term, RDD] = {}
-        self.vp_sizes: Dict[Term, int] = {}
         for predicate in sorted(graph.predicates(), key=lambda t: t.sort_key()):
             pairs = [
                 (t.subject, t.object)
@@ -92,14 +92,22 @@ class SparqlgxEngine(SparkRdfEngine):
             ]
             pairs.sort(key=lambda so: (so[0].sort_key(), so[1].sort_key()))
             self.vp_tables[predicate] = self.ctx.parallelize(pairs).cache()
-            self.vp_sizes[predicate] = len(pairs)
 
-        # Statistics: distinct subject / predicate / object counts.
+        # Statistics come from the shared catalog (repro.stats): the same
+        # one pass the cost-based optimizer uses.  The numbers it yields
+        # (per-predicate partition sizes, distinct subject / predicate /
+        # object counts) are exactly what this engine counted privately
+        # before, so the reordering heuristic is unchanged.
+        self.catalog = StatsCatalog.from_graph(graph)
+        self.vp_sizes: Dict[Term, int] = {
+            predicate: self.catalog.predicate_count(predicate.n3())
+            for predicate in self.vp_tables
+        }
         self.stats = {
-            "distinct_subjects": len(graph.subjects()),
-            "distinct_predicates": len(graph.predicates()),
-            "distinct_objects": len(graph.objects()),
-            "triples": len(graph),
+            "distinct_subjects": self.catalog.distinct_subjects,
+            "distinct_predicates": self.catalog.distinct_predicates,
+            "distinct_objects": self.catalog.distinct_objects,
+            "triples": self.catalog.triples,
         }
 
     # ------------------------------------------------------------------

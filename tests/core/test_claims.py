@@ -10,9 +10,9 @@ def results():
     return build_default_assessment().run()
 
 
-def test_ten_claims_registered():
+def test_twelve_claims_registered():
     assessment = build_default_assessment()
-    assert len(assessment.claims()) == 10
+    assert len(assessment.claims()) == 12
 
 
 def test_every_claim_holds(results):
@@ -37,5 +37,5 @@ def test_cli_claims_command(capsys):
 
     assert main(["claims"]) == 0
     out = capsys.readouterr().out
-    assert out.count("HOLDS") >= 9
+    assert out.count("HOLDS") >= 11
     assert "DOES NOT HOLD" not in out

@@ -1,0 +1,100 @@
+"""Cardinality estimation against graphs with known exact answers."""
+
+import pytest
+
+from repro.optimizer import CardinalityEstimator
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+from repro.sparql.ast import TriplePattern, Variable
+from repro.stats import StatsCatalog
+
+EX = "http://example.org/"
+
+
+def _uri(name):
+    return URI(EX + name)
+
+
+def _pattern(subject, predicate, obj):
+    def resolve(position):
+        if isinstance(position, str) and position.startswith("?"):
+            return Variable(position[1:])
+        return _uri(position)
+
+    return TriplePattern(resolve(subject), resolve(predicate), resolve(obj))
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    graph = RDFGraph()
+    # 6 follows edges from 3 subjects; 3 likes edges from 2 of them.
+    for i in range(6):
+        graph.add(
+            Triple(_uri("u%d" % (i % 3)), _uri("follows"), _uri("f%d" % i))
+        )
+    for i in range(3):
+        graph.add(
+            Triple(_uri("u%d" % (i % 2)), _uri("likes"), _uri("l%d" % i))
+        )
+    return CardinalityEstimator(StatsCatalog.from_graph(graph))
+
+
+def test_bound_predicate_uses_partition_size(estimator):
+    assert estimator.pattern_cardinality(
+        _pattern("?s", "follows", "?o")
+    ) == pytest.approx(6.0)
+    assert estimator.pattern_cardinality(
+        _pattern("?s", "likes", "?o")
+    ) == pytest.approx(3.0)
+
+
+def test_bound_subject_divides_by_distinct_subjects(estimator):
+    # follows has 3 distinct subjects: 6 / 3 = 2 expected rows.
+    assert estimator.pattern_cardinality(
+        _pattern("u0", "follows", "?o")
+    ) == pytest.approx(2.0)
+    # A bound object divides by the 6 distinct follows objects.
+    assert estimator.pattern_cardinality(
+        _pattern("?s", "follows", "f0")
+    ) == pytest.approx(1.0)
+
+
+def test_unknown_predicate_estimates_zero(estimator):
+    assert estimator.pattern_cardinality(_pattern("?s", "nope", "?o")) == 0.0
+
+
+def test_unbound_predicate_uses_global_totals(estimator):
+    assert estimator.pattern_cardinality(
+        _pattern("?s", "?p", "?o")
+    ) == pytest.approx(9.0)
+
+
+def test_subject_star_uses_characteristic_sets(estimator):
+    star = [
+        _pattern("?s", "follows", "?a"),
+        _pattern("?s", "likes", "?b"),
+    ]
+    # Exact: u0 (2 follows x 2 likes) + u1 (2 follows x 1 like) = 6 rows.
+    assert estimator.subset_cardinality(star) == pytest.approx(6.0)
+
+
+def test_subset_cardinality_is_order_independent(estimator):
+    patterns = [
+        _pattern("?s", "follows", "?a"),
+        _pattern("?s", "likes", "?b"),
+        _pattern("?a", "?p", "?c"),
+    ]
+    forward = estimator.subset_cardinality(patterns)
+    backward = estimator.subset_cardinality(list(reversed(patterns)))
+    assert forward == pytest.approx(backward)
+    assert forward >= 0.0
+
+
+def test_reduction_factor_reads_pair_selectivity(estimator):
+    follows = _pattern("?s", "follows", "?o")
+    likes = _pattern("?s", "likes", "?x")
+    # Only 2 of follows' 3 subjects also appear in likes: 4/6 triples.
+    assert estimator.reduction_factor(follows, likes) == pytest.approx(4 / 6)
+    # likes' subjects all follow: no reduction.
+    assert estimator.reduction_factor(likes, follows) == 1.0

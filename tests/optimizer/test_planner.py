@@ -1,0 +1,128 @@
+"""Join ordering and physical strategy selection."""
+
+import pytest
+
+from repro.optimizer import (
+    DEFAULT_BROADCAST_THRESHOLD,
+    JoinPlanner,
+    Optimizer,
+)
+from repro.sparql.algebra import BGP, translate
+from repro.sparql.parser import parse_sparql
+
+PREFIX = "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+
+
+def _patterns(query_text):
+    node = translate(parse_sparql(query_text))
+    assert isinstance(node, BGP)
+    return node.patterns
+
+
+CHAIN = PREFIX + (
+    "SELECT * WHERE { ?s lubm:takesCourse ?c . ?t lubm:teacherOf ?c . "
+    "?s lubm:memberOf ?d . }"
+)
+DISCONNECTED = PREFIX + (
+    "SELECT * WHERE { ?s lubm:memberOf ?d . ?x lubm:worksFor ?y . }"
+)
+
+
+@pytest.fixture(scope="module")
+def optimizer(lubm_graph):
+    return Optimizer.for_graph(lubm_graph)
+
+
+def test_plan_covers_every_pattern_once(optimizer):
+    patterns = _patterns(CHAIN)
+    plan = optimizer.plan_bgp(patterns)
+    assert sorted(plan.order) == list(range(len(patterns)))
+    assert plan.steps[0].strategy == "scan"
+    assert all(
+        step.strategy in ("broadcast", "local", "shuffle", "cartesian")
+        for step in plan.steps[1:]
+    )
+
+
+def test_parse_mode_preserves_written_order(lubm_graph):
+    optimizer = Optimizer.for_graph(lubm_graph, mode="parse")
+    plan = optimizer.plan_bgp(_patterns(CHAIN))
+    assert plan.order == [0, 1, 2]
+    assert plan.mode == "parse"
+
+
+def test_broadcast_iff_under_threshold(optimizer):
+    for query in (CHAIN, DISCONNECTED):
+        plan = optimizer.plan_bgp(_patterns(query))
+        for step in plan.steps[1:]:
+            if step.strategy == "cartesian":
+                assert not step.shared
+                continue
+            should_broadcast = step.est_build < plan.broadcast_threshold
+            assert (step.strategy == "broadcast") == should_broadcast
+
+
+def test_disabling_broadcast_removes_it(lubm_graph):
+    optimizer = Optimizer.for_graph(lubm_graph, enable_broadcast=False)
+    for query in (CHAIN, DISCONNECTED):
+        plan = optimizer.plan_bgp(_patterns(query))
+        assert all(step.strategy != "broadcast" for step in plan.steps)
+
+
+def test_local_join_when_already_partitioned_on_key(lubm_graph):
+    # A subject star with broadcast off: the first join shuffles on ?s,
+    # every later join reuses that partitioning.
+    star = PREFIX + (
+        "SELECT * WHERE { ?s lubm:memberOf ?d . ?s lubm:age ?a . "
+        "?s lubm:emailAddress ?e . }"
+    )
+    optimizer = Optimizer.for_graph(lubm_graph, enable_broadcast=False)
+    plan = optimizer.plan_bgp(_patterns(star))
+    strategies = [step.strategy for step in plan.steps]
+    assert strategies == ["scan", "shuffle", "local"]
+    assert all(step.shared == ("s",) for step in plan.steps[1:])
+
+
+def test_cartesian_only_for_disconnected(optimizer):
+    plan = optimizer.plan_bgp(_patterns(DISCONNECTED))
+    assert [step.strategy for step in plan.steps][1] == "cartesian"
+    connected = optimizer.plan_bgp(_patterns(CHAIN))
+    assert all(step.strategy != "cartesian" for step in connected.steps)
+
+
+def test_dp_never_worse_than_parse_on_estimates(lubm_graph):
+    """The DP optimum's C_out is <= every other order's, parse included."""
+    dp = Optimizer.for_graph(lubm_graph, mode="dp")
+    parse = Optimizer.for_graph(lubm_graph, mode="parse")
+
+    def c_out(plan):
+        return sum(step.est_rows for step in plan.steps[1:])
+
+    for query in (CHAIN, DISCONNECTED):
+        patterns = _patterns(query)
+        assert c_out(dp.plan_bgp(patterns)) <= c_out(
+            parse.plan_bgp(patterns)
+        ) + 1e-9
+
+
+def test_plans_are_deterministic(lubm_graph):
+    first = Optimizer.for_graph(lubm_graph).plan_bgp(_patterns(CHAIN))
+    second = Optimizer.for_graph(lubm_graph).plan_bgp(_patterns(CHAIN))
+    assert first.describe() == second.describe()
+    assert [s.strategy for s in first.steps] == [
+        s.strategy for s in second.steps
+    ]
+
+
+def test_planner_validates_configuration(optimizer):
+    with pytest.raises(ValueError, match="order mode"):
+        JoinPlanner(optimizer.estimator, mode="bogus")
+    with pytest.raises(ValueError, match="broadcast_threshold"):
+        JoinPlanner(optimizer.estimator, broadcast_threshold=0)
+    assert optimizer.planner.broadcast_threshold == DEFAULT_BROADCAST_THRESHOLD
+
+
+def test_empty_plan(optimizer):
+    plan = optimizer.plan_bgp([])
+    assert plan.steps == []
+    assert plan.est_rows == 1.0

@@ -1,0 +1,85 @@
+"""Estimator accuracy (q-error), tracing, and metric conservation."""
+
+import math
+
+import pytest
+
+from repro.data.lubm import LubmGenerator
+from repro.explain import run_traced, verify_conservation
+from repro.optimizer import Optimizer, collect_q_errors, q_error
+from repro.systems import S2RdfEngine, SparqlgxEngine
+
+SHAPES = {
+    "star": LubmGenerator.query_star(),
+    "linear": LubmGenerator.query_linear(),
+    "snowflake": LubmGenerator.query_snowflake(),
+    "complex": LubmGenerator.query_complex(),
+}
+
+#: Generous bound: the estimator must be sane, not clairvoyant.
+Q_ERROR_CAP = 100.0
+
+
+def test_q_error_function():
+    assert q_error(10, 10) == 1.0
+    assert q_error(100, 10) == 10.0
+    assert q_error(10, 100) == 10.0
+    # Smoothed at one row: empty results don't divide by zero.
+    assert q_error(0, 0) == 1.0
+    assert q_error(5, 0) == 5.0
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES), ids=sorted(SHAPES))
+def test_q_errors_finite_and_bounded(shape, lubm_graph):
+    optimizer = Optimizer.for_graph(lubm_graph)
+    run = run_traced(
+        lubm_graph, SHAPES[shape], SparqlgxEngine, optimizer=optimizer
+    )
+    errors = collect_q_errors(run.spans)
+    assert errors, "no traced optimizer steps for %s" % shape
+    for strategy, error in errors:
+        assert math.isfinite(error)
+        assert error >= 1.0
+        assert error <= Q_ERROR_CAP, (
+            "step %s q-error %.1f exceeds cap" % (strategy, error)
+        )
+
+
+def test_optimize_span_describes_plan(lubm_graph):
+    optimizer = Optimizer.for_graph(lubm_graph)
+    run = run_traced(
+        lubm_graph, SHAPES["complex"], SparqlgxEngine, optimizer=optimizer
+    )
+    optimize_spans = [
+        span
+        for root in run.spans
+        for span in root.walk()
+        if span.kind == "optimize"
+    ]
+    assert optimize_spans
+    for span in optimize_spans:
+        assert span.name == "dp"
+        assert "order" in span.attrs and "strategies" in span.attrs
+
+
+def test_conservation_holds_with_optimizer(lubm_graph):
+    """Span deltas still sum to flat totals on the optimized path."""
+    optimizer = Optimizer.for_graph(lubm_graph)
+    for shape in ("star", "complex"):
+        run = run_traced(
+            lubm_graph, SHAPES[shape], SparqlgxEngine, optimizer=optimizer
+        )
+        assert verify_conservation(run) == {}
+
+
+def test_sql_spans_carry_estimates(lubm_graph):
+    """S2RDF's SQL plan nodes expose Catalyst row estimates in EXPLAIN."""
+    run = run_traced(lubm_graph, SHAPES["star"], S2RdfEngine)
+    sql_spans = [
+        span
+        for root in run.spans
+        for span in root.walk()
+        if span.kind == "sql"
+    ]
+    assert sql_spans
+    assert all("est_rows" in span.attrs for span in sql_spans)

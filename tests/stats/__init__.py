@@ -1,0 +1,1 @@
+"""Tests for the shared statistics catalog (repro.stats)."""
