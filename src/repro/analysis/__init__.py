@@ -1,0 +1,49 @@
+"""Static analysis for the reproduction: two analyzers, one framework.
+
+The paper's assessment dimensions -- query shapes, join strategies,
+partition locality -- are all statically decidable properties of a query
+before it touches the cluster.  This package decides them:
+
+* :mod:`repro.analysis.query` lints parsed SPARQL and the optimizer's
+  plan *without executing*: cartesian products, never-bound projections,
+  unsatisfiable filters, unknown predicates, cost-over-deadline,
+  broadcast-threshold misuse.  Wired into ``python -m repro lint``,
+  ``explain`` output, and :class:`repro.server.service.QueryService`
+  admission.
+* :mod:`repro.analysis.determinism` walks the Python AST of ``src/repro``
+  itself and flags violations of the repo's byte-determinism contract
+  (unsorted JSON, set-order iteration, unseeded randomness, wall clocks,
+  mutable defaults).  Runs as a CI gate.
+
+Both are built on :mod:`repro.analysis.core`: a rule registry emitting
+:class:`~repro.analysis.core.Diagnostic` records into an
+:class:`~repro.analysis.core.AnalysisReport` whose JSON and text
+renderings are byte-deterministic.  Rule catalog: ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Diagnostic,
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    Rule,
+    RuleSet,
+    SEVERITIES,
+    merge_reports,
+)
+from repro.analysis.query import lint_query, lint_text
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_WARNINGS",
+    "Rule",
+    "RuleSet",
+    "SEVERITIES",
+    "lint_query",
+    "lint_text",
+    "merge_reports",
+]

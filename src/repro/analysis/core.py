@@ -1,0 +1,239 @@
+"""The shared rule-engine framework behind both analyzers.
+
+An analyzer is a :class:`RuleSet`: an ordered registry of :class:`Rule`
+objects, each owning a stable code (``QL001``, ``DT002``, ...), a
+severity, and a check function.  Running the set over a context object
+produces an :class:`AnalysisReport` -- a sorted list of
+:class:`Diagnostic` records with deterministic JSON and human-text
+renderings, and an exit code following the CLI convention:
+
+* ``0`` -- clean (no findings);
+* ``4`` -- warnings only;
+* ``5`` -- at least one error.
+
+Determinism: diagnostics sort on ``(location, line, column, code,
+message)``, payloads are plain dicts serialized with ``sort_keys=True``,
+and nothing here consults a clock -- two runs over the same inputs are
+byte-identical (asserted in ``tests/analysis/test_core.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+#: Exit codes shared by ``repro lint`` and ``repro.analysis.determinism``.
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 4
+EXIT_ERRORS = 5
+
+#: Recognized severities, mildest first.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a location.
+
+    *location* names the analyzed subject (a file path or query name);
+    *line*/*column* are 1-based source coordinates when the subject has
+    them (the determinism checker) and 0 when it does not (query lint).
+    """
+
+    code: str
+    severity: str
+    message: str
+    location: str = "-"
+    line: int = 0
+    column: int = 0
+
+    def sort_key(self):
+        return (self.location, self.line, self.column, self.code, self.message)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def render(self) -> str:
+        where = self.location
+        if self.line:
+            where = "%s:%d:%d" % (self.location, self.line, self.column)
+        return "%s: %s %s: %s" % (where, self.severity, self.code, self.message)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named check.
+
+    *check* receives the analyzer's context object and yields
+    :class:`Diagnostic` records (built via the ``found`` helper the
+    rule set passes in, so rules never repeat their own code/severity).
+    """
+
+    code: str
+    severity: str
+    title: str
+    check: Callable[..., Iterable[Diagnostic]]
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                "unknown severity %r; choose one of %s"
+                % (self.severity, ", ".join(SEVERITIES))
+            )
+
+
+class RuleSet:
+    """An ordered registry of rules forming one analyzer."""
+
+    def __init__(self, analyzer: str) -> None:
+        self.analyzer = analyzer
+        self._rules: List[Rule] = []
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def by_code(self, code: str) -> Rule:
+        for rule in self._rules:
+            if rule.code == code:
+                return rule
+        raise KeyError("no rule %s in analyzer %s" % (code, self.analyzer))
+
+    def rule(
+        self, code: str, severity: str, title: str
+    ) -> Callable[[Callable], Callable]:
+        """Decorator: register the decorated function as a check.
+
+        The check is called as ``check(context, found)`` where ``found``
+        builds a :class:`Diagnostic` carrying this rule's code and
+        severity; the check yields (or returns an iterable of) whatever
+        ``found`` produced.
+        """
+        if any(r.code == code for r in self._rules):
+            raise ValueError("duplicate rule code %s" % code)
+
+        def register(fn: Callable) -> Callable:
+            self._rules.append(Rule(code, severity, title, fn))
+            return fn
+
+        return register
+
+    def run(self, context: Any) -> List[Diagnostic]:
+        """Every rule over one context; rules run in registration order."""
+        diagnostics: List[Diagnostic] = []
+        for rule in self._rules:
+
+            def found(
+                message: str,
+                location: str = "-",
+                line: int = 0,
+                column: int = 0,
+                _rule: Rule = rule,
+            ) -> Diagnostic:
+                return Diagnostic(
+                    code=_rule.code,
+                    severity=_rule.severity,
+                    message=message,
+                    location=location,
+                    line=line,
+                    column=column,
+                )
+
+            diagnostics.extend(rule.check(context, found) or ())
+        return diagnostics
+
+    def catalog(self) -> List[Dict[str, str]]:
+        """JSON-ready rule listing (the ``docs/ANALYSIS.md`` source)."""
+        return [
+            {"code": r.code, "severity": r.severity, "title": r.title}
+            for r in self._rules
+        ]
+
+
+#: Bumped when the serialized report layout changes incompatibly.
+REPORT_FORMAT_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """The artifact one analyzer run produces."""
+
+    analyzer: str
+    subject: str = "-"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> "AnalysisReport":
+        self.diagnostics.extend(diagnostics)
+        return self
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def exit_code(self) -> int:
+        """The CLI convention: 0 clean, 4 warnings only, 5 errors."""
+        if self.count("error"):
+            return EXIT_ERRORS
+        if self.count("warning"):
+            return EXIT_WARNINGS
+        return EXIT_CLEAN
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready dict; diagnostics sorted for byte determinism."""
+        return {
+            "format": REPORT_FORMAT_VERSION,
+            "analyzer": self.analyzer,
+            "subject": self.subject,
+            "summary": {
+                "errors": self.count("error"),
+                "warnings": self.count("warning"),
+                "total": len(self.diagnostics),
+            },
+            "diagnostics": [
+                d.to_payload() for d in self.sorted_diagnostics()
+            ],
+        }
+
+    def to_json(self) -> str:
+        return (
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def render(self) -> str:
+        """The human listing: one line per finding plus a summary line."""
+        lines = [d.render() for d in self.sorted_diagnostics()]
+        lines.append(
+            "%s: %d error(s), %d warning(s)"
+            % (self.analyzer, self.count("error"), self.count("warning"))
+        )
+        return "\n".join(lines)
+
+
+def merge_reports(
+    analyzer: str, reports: Iterable[AnalysisReport], subject: str = "-"
+) -> AnalysisReport:
+    """One combined report over several subjects (multi-file runs)."""
+    merged = AnalysisReport(analyzer=analyzer, subject=subject)
+    for report in reports:
+        merged.extend(report.diagnostics)
+    return merged

@@ -1,0 +1,561 @@
+"""Front 2: the byte-determinism checker (rules ``DT001`` .. ``DT005``).
+
+The repository's core contract since PR 1 is that every artifact --
+trace files, stats JSON, BENCH reports, canonical wire forms -- is
+byte-identical across runs and machines.  That contract dies in small,
+reviewable ways: a ``json.dumps`` without ``sort_keys``, a loop over a
+``set`` feeding a serializer, a module-level ``random.random()``, a wall
+clock.  This module walks the Python AST of ``src/repro`` and flags
+exactly those, as a CI gate::
+
+    PYTHONPATH=src python -m repro.analysis.determinism src/repro
+
+Rules (catalog in ``docs/ANALYSIS.md``):
+
+``DT001`` (error)
+    ``json.dump``/``json.dumps`` without ``sort_keys=True``.
+``DT002`` (error)
+    Iteration over a bare set expression (a set display, ``set()`` /
+    ``frozenset()`` call, set comprehension, or a union/intersection of
+    them) in an order-sensitive position: a ``for`` loop, a list/dict
+    comprehension, or a ``list()``/``tuple()`` conversion.  Feeding the
+    result to an order-insensitive consumer (``sorted``, ``sum``,
+    ``min``/``max``, ``len``, ``any``/``all``, ``set``/``frozenset``)
+    is fine and not flagged.
+``DT003`` (error)
+    A call into the module-level (unseeded, process-shared)
+    ``random`` generator; ``random.Random(seed)`` instances are the
+    sanctioned source of randomness.
+``DT004`` (error)
+    Wall-clock reads: ``time.time()`` and friends,
+    ``datetime.now()``/``utcnow()``/``today()``.  Virtual time comes
+    from :func:`repro.spark.deadline.cost_units`.
+``DT005`` (warning)
+    Mutable default argument values (lists, dicts, sets): shared
+    mutable state across calls is load-order-dependent behavior.
+
+Suppression: append ``# repro: allow(DT002)`` (codes comma-separated)
+to the flagged line, or place it as a comment on the line directly
+above.  The CI gate ships with zero unsuppressed findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Diagnostic,
+    RuleSet,
+    merge_reports,
+)
+
+DETERMINISM_RULES = RuleSet("determinism")
+
+#: Functions of the ``random`` module that touch the shared global state.
+_RANDOM_STATEFUL = frozenset(
+    (
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    )
+)
+
+#: Wall-clock readers of the ``time`` module.
+_TIME_FUNCS = frozenset(
+    (
+        "clock_gettime",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "time",
+        "time_ns",
+    )
+)
+
+#: Wall-clock constructors on datetime/date classes.
+_DATETIME_FUNCS = frozenset(("now", "today", "utcnow"))
+
+#: Builtins whose output does not depend on input iteration order, so a
+#: set-fed comprehension inside them is deterministic.
+_ORDER_INSENSITIVE = frozenset(
+    ("all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum")
+)
+
+_MUTABLE_CALLS = frozenset(("bytearray", "dict", "list", "set"))
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class FileContext:
+    """One Python source file under analysis."""
+
+    path: str
+    source: str
+    tree: Optional[ast.Module] = None
+    syntax_error: str = ""
+    _findings: Optional[Dict[str, List[Tuple[int, int, str]]]] = field(
+        default=None, repr=False
+    )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FileContext":
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return cls.from_source(path, source)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "FileContext":
+        context = cls(path=path, source=source)
+        try:
+            context.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            context.syntax_error = str(exc)
+        return context
+
+    def findings(self, code: str) -> List[Tuple[int, int, str]]:
+        """(line, column, message) findings for one rule code."""
+        if self._findings is None:
+            scan = _Scan()
+            if self.tree is not None:
+                scan.visit(self.tree)
+            self._findings = scan.findings
+        return self._findings.get(code, [])
+
+
+class _Scan(ast.NodeVisitor):
+    """One AST walk collecting every rule's raw findings."""
+
+    def __init__(self) -> None:
+        #: code -> [(line, column, message)]
+        self.findings: Dict[str, List[Tuple[int, int, str]]] = {}
+        # Module-name aliases bound by imports ("import json as j").
+        self._json_modules: set = set()
+        self._random_modules: set = set()
+        self._time_modules: set = set()
+        self._datetime_modules: set = set()
+        # from-imported names -> original attribute name.
+        self._json_names: Dict[str, str] = {}
+        self._random_names: Dict[str, str] = {}
+        self._time_names: Dict[str, str] = {}
+        self._datetime_classes: set = set()
+        # Comprehension nodes whose iteration order provably cannot leak.
+        self._order_insensitive_nodes: set = set()
+
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.setdefault(code, []).append(
+            (node.lineno, node.col_offset + 1, message)
+        )
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "json":
+                self._json_modules.add(bound)
+            elif alias.name == "random":
+                self._random_modules.add(bound)
+            elif alias.name == "time":
+                self._time_modules.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_modules.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "json":
+                self._json_names[bound] = alias.name
+            elif node.module == "random":
+                self._random_names[bound] = alias.name
+            elif node.module == "time":
+                self._time_names[bound] = alias.name
+            elif node.module == "datetime" and alias.name in (
+                "date",
+                "datetime",
+            ):
+                self._datetime_classes.add(bound)
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------
+
+    def _set_valued(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("frozenset", "set")
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self._set_valued(node.left) or self._set_valued(
+                node.right
+            )
+        return False
+
+    def _call_target(self, node: ast.Call) -> Tuple[str, str]:
+        """(root, attr) of the call: ``json.dumps(...)`` -> ("json",
+        "dumps"); a bare name call returns ("", name)."""
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            return (func.value.id, func.attr)
+        if isinstance(func, ast.Name):
+            return ("", func.id)
+        return ("", "")
+
+    # -- call sites (DT001, DT002 conversions, DT003, DT004) ------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        root, attr = self._call_target(node)
+
+        # DT001: json.dump/dumps without sort_keys=True.
+        is_json_dump = (
+            root in self._json_modules and attr in ("dump", "dumps")
+        ) or (
+            not root
+            and self._json_names.get(attr) in ("dump", "dumps")
+        )
+        if is_json_dump:
+            self._check_json_call(node, attr)
+
+        # DT003: the shared module-level random generator.
+        if (root in self._random_modules and attr in _RANDOM_STATEFUL) or (
+            not root and self._random_names.get(attr) in _RANDOM_STATEFUL
+        ):
+            self._flag(
+                "DT003",
+                node,
+                "call to the module-level random.%s(): the shared unseeded "
+                "generator; use a seeded random.Random instance" % attr,
+            )
+
+        # DT004: wall clocks.
+        if (root in self._time_modules and attr in _TIME_FUNCS) or (
+            not root and self._time_names.get(attr) in _TIME_FUNCS
+        ):
+            self._flag(
+                "DT004",
+                node,
+                "wall-clock read time.%s(): virtual time comes from cost "
+                "units, never the host clock" % attr,
+            )
+        elif (
+            # Not _call_target's attr: datetime.datetime.now() nests two
+            # Attribute levels, which that helper reports as ("", "").
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DATETIME_FUNCS
+            and self._is_datetime_root(node.func)
+        ):
+            self._flag(
+                "DT004",
+                node,
+                "wall-clock read datetime %s(): virtual time comes from "
+                "cost units, never the host clock" % node.func.attr,
+            )
+
+        # DT002 (conversion form): list(set(...)) / tuple(set(...)).
+        if (
+            not root
+            and attr in ("list", "tuple")
+            and len(node.args) == 1
+            and not node.keywords
+            and self._set_valued(node.args[0])
+        ):
+            self._flag(
+                "DT002",
+                node,
+                "%s() over a set expression fixes an interpreter-dependent "
+                "order; sort it first" % attr,
+            )
+
+        # Comprehensions handed straight to an order-insensitive consumer
+        # may iterate sets freely.
+        if not root and attr in _ORDER_INSENSITIVE:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    self._order_insensitive_nodes.add(id(arg))
+        self.generic_visit(node)
+
+    def _is_datetime_root(self, func: ast.AST) -> bool:
+        """True for ``datetime.now`` / ``datetime.datetime.now`` shapes."""
+        if not isinstance(func, ast.Attribute):
+            return False
+        value = func.value
+        if isinstance(value, ast.Name):
+            return (
+                value.id in self._datetime_classes
+                or value.id in self._datetime_modules
+            )
+        if isinstance(value, ast.Attribute) and isinstance(
+            value.value, ast.Name
+        ):
+            return (
+                value.value.id in self._datetime_modules
+                and value.attr in ("date", "datetime")
+            )
+        return False
+
+    def _check_json_call(self, node: ast.Call, attr: str) -> None:
+        sort_keys: Optional[ast.keyword] = None
+        has_kwargs = False
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                has_kwargs = True
+            elif keyword.arg == "sort_keys":
+                sort_keys = keyword
+        if sort_keys is not None:
+            value = sort_keys.value
+            if isinstance(value, ast.Constant) and value.value is False:
+                self._flag(
+                    "DT001",
+                    node,
+                    "json.%s with sort_keys=False emits dict-insertion "
+                    "order; serialized artifacts must sort keys" % attr,
+                )
+            return
+        if has_kwargs:
+            return
+        self._flag(
+            "DT001",
+            node,
+            "json.%s without sort_keys=True emits dict-insertion order; "
+            "serialized artifacts must sort keys" % attr,
+        )
+
+    # -- iteration sites (DT002) ----------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._set_valued(node.iter):
+            self._flag(
+                "DT002",
+                node.iter,
+                "for-loop over a set expression iterates in interpreter-"
+                "dependent order; sort it first",
+            )
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        if id(node) not in self._order_insensitive_nodes:
+            for generator in node.generators:
+                if self._set_valued(generator.iter):
+                    self._flag(
+                        "DT002",
+                        generator.iter,
+                        "comprehension over a set expression iterates in "
+                        "interpreter-dependent order; sort it first",
+                    )
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The result is itself a set: iteration order cannot leak here.
+        self.generic_visit(node)
+
+    # -- defaults (DT005) -----------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.Dict, ast.DictComp, ast.List, ast.ListComp, ast.Set, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+                and not default.args
+                and not default.keywords
+            )
+            if mutable:
+                self._flag(
+                    "DT005",
+                    default,
+                    "mutable default argument in %s(): one shared instance "
+                    "across every call" % node.name,
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._check_defaults(node)
+
+
+def _rule_check(code: str):
+    """A check function pulling one code's findings off the shared scan."""
+
+    def check(context: FileContext, found):
+        for line, column, message in context.findings(code):
+            yield found(message, context.path, line, column)
+
+    return check
+
+
+DETERMINISM_RULES.rule(
+    "DT001", "error", "json serialization without sort_keys"
+)(_rule_check("DT001"))
+DETERMINISM_RULES.rule("DT002", "error", "iteration over a bare set")(
+    _rule_check("DT002")
+)
+DETERMINISM_RULES.rule("DT003", "error", "unseeded module-level random")(
+    _rule_check("DT003")
+)
+DETERMINISM_RULES.rule("DT004", "error", "wall-clock read")(
+    _rule_check("DT004")
+)
+DETERMINISM_RULES.rule("DT005", "warning", "mutable default argument")(
+    _rule_check("DT005")
+)
+
+
+def _suppressed(diagnostic: Diagnostic, lines: Sequence[str]) -> bool:
+    """True when an ``# repro: allow(CODE)`` covers the flagged line
+    (trailing on the line itself or a comment on the line above)."""
+    candidates = []
+    if 1 <= diagnostic.line <= len(lines):
+        candidates.append(lines[diagnostic.line - 1])
+    if 2 <= diagnostic.line:
+        candidates.append(lines[diagnostic.line - 2])
+    for text in candidates:
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        codes = {
+            token.strip()
+            for token in match.group(1).replace(",", " ").split()
+        }
+        if diagnostic.code in codes:
+            return True
+    return False
+
+
+def check_source(path: str, source: str) -> AnalysisReport:
+    """Analyze one in-memory source file (the testable core)."""
+    context = FileContext.from_source(path, source)
+    report = AnalysisReport(
+        analyzer=DETERMINISM_RULES.analyzer, subject=path
+    )
+    if context.syntax_error:
+        report.diagnostics.append(
+            Diagnostic(
+                code="DT000",
+                severity="error",
+                message="syntax error: %s" % context.syntax_error,
+                location=path,
+            )
+        )
+        return report
+    lines = source.splitlines()
+    for diagnostic in DETERMINISM_RULES.run(context):
+        if not _suppressed(diagnostic, lines):
+            report.diagnostics.append(diagnostic)
+    return report
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand file/directory arguments to a sorted ``.py`` file list."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError("no such file or directory: %s" % path)
+    return sorted(dict.fromkeys(out))
+
+
+def check_paths(paths: Sequence[str]) -> AnalysisReport:
+    """Analyze every ``.py`` file under *paths* into one merged report."""
+    reports = [
+        check_source(path, _read(path)) for path in collect_files(paths)
+    ]
+    return merge_reports(
+        DETERMINISM_RULES.analyzer, reports, subject=",".join(paths)
+    )
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.determinism",
+        description="flag byte-determinism contract violations "
+        "(see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="Python files or directories to check"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deterministic JSON report instead of text",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = check_paths(args.paths)
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

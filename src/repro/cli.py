@@ -30,15 +30,24 @@ Commands
     Compute the statistics catalog (per-predicate counts, characteristic
     sets, pair selectivities) for an RDF file; print a summary and
     optionally write the deterministic catalog JSON.
+``lint QUERY... [--data FILE | --stats FILE] [--deadline UNITS] [--json]``
+    Statically analyze SPARQL queries without executing them
+    (:mod:`repro.analysis.query`): cartesian products, never-bound
+    projections, unsatisfiable filters, and -- when statistics are
+    supplied via ``--data`` or ``--stats`` -- unknown predicates,
+    cost-over-deadline, and broadcast-threshold misuse.
 
 ``query``, ``explain``, ``serve`` and ``loadtest`` accept ``--optimize``
 (plus ``--optimizer-mode`` and ``--broadcast-threshold``) to run BGPs
 through the shared cost-based optimizer instead of each engine's native
-join order.
+join order.  ``serve`` and ``loadtest`` run the same static linter at
+admission (disable with ``--no-lint``).
 
-Exit codes: 2 for unusable inputs (bad ``--faults`` spec, unknown engine
-or unreadable data file on ``serve``/``loadtest``), 3 when a fault
-schedule exhausts ``--max-task-attempts``.
+Exit codes (the full table lives in README.md): 0 success / clean lint;
+1 failed ``assess``/``claims`` checks; 2 unusable inputs (bad
+``--faults`` spec, unknown engine, unreadable data/query/stats file);
+3 when a fault schedule exhausts ``--max-task-attempts``; 4 lint found
+warnings only; 5 lint found errors.
 """
 
 from __future__ import annotations
@@ -284,6 +293,60 @@ def cmd_assess(args) -> int:
     return 1 if bench.incorrect() else 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import lint_text, merge_reports
+    from repro.stats import StatsCatalog
+
+    catalog = None
+    if args.data and args.stats:
+        print(
+            "error: --data and --stats are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.data:
+        catalog = StatsCatalog.from_graph(load_graph(args.data))
+    elif args.stats:
+        try:
+            with open(args.stats, "r", encoding="utf-8") as handle:
+                catalog = StatsCatalog.from_json(handle.read())
+        except (OSError, ValueError, KeyError) as exc:
+            print(
+                "error: cannot load stats catalog: %s" % exc, file=sys.stderr
+            )
+            return 2
+    reports = []
+    for position, query_arg in enumerate(args.queries):
+        if os.path.exists(query_arg):
+            subject, text = query_arg, _read_query_arg(query_arg)
+        elif query_arg.endswith((".rq", ".sparql")):
+            # A query *file* that is missing is an input error, not a
+            # parse error in a literal query.
+            print(
+                "error: cannot read query file: %s" % query_arg,
+                file=sys.stderr,
+            )
+            return 2
+        else:
+            subject, text = "arg%d" % (position + 1), query_arg
+        reports.append(
+            lint_text(
+                text,
+                subject=subject,
+                catalog=catalog,
+                deadline=args.deadline,
+                broadcast_threshold=args.broadcast_threshold,
+                mode=args.optimizer_mode,
+            )
+        )
+    merged = merge_reports("query-lint", reports)
+    if args.json:
+        sys.stdout.write(merged.to_json())
+    else:
+        print(merged.render())
+    return merged.exit_code()
+
+
 def _build_service(args):
     """Construct the QueryService every serving subcommand shares."""
     from repro.server import QueryService
@@ -304,6 +367,7 @@ def _build_service(args):
         optimize=args.optimize,
         optimizer_mode=args.optimizer_mode,
         broadcast_threshold=args.broadcast_threshold,
+        lint_admission=not args.no_lint,
     )
 
 
@@ -358,6 +422,7 @@ def cmd_loadtest(args) -> int:
         ["completed", payload["totals"]["completed"]],
         ["ok", payload["totals"]["ok"]],
         ["rejected", payload["totals"]["rejected"]],
+        ["lint rejected", payload["totals"]["lint_rejected"]],
         ["deadline aborts", payload["totals"]["deadline_aborts"]],
         ["p50 latency (units)", payload["latency_units"]["p50"]],
         ["p95 latency (units)", payload["latency_units"]["p95"]],
@@ -513,6 +578,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the deterministic catalog JSON to FILE",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze SPARQL queries without executing them",
+    )
+    lint.add_argument(
+        "queries",
+        nargs="+",
+        metavar="QUERY",
+        help="SPARQL file or literal query text (repeatable)",
+    )
+    lint.add_argument(
+        "--data",
+        metavar="FILE",
+        help="RDF file to derive a statistics catalog from (enables the "
+        "statistics-backed rules QL004-QL006)",
+    )
+    lint.add_argument(
+        "--stats",
+        metavar="FILE",
+        help="precomputed catalog JSON (from `repro stats --json`) "
+        "instead of --data",
+    )
+    lint.add_argument(
+        "--deadline",
+        type=_positive_units,
+        default=None,
+        metavar="UNITS",
+        help="cost-unit budget for the cost-over-deadline rule QL005",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as deterministic JSON instead of text",
+    )
+    from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, ORDER_MODES
+
+    lint.add_argument(
+        "--optimizer-mode",
+        choices=list(ORDER_MODES),
+        default="dp",
+        help="join ordering used by the cost estimate (default dp)",
+    )
+    lint.add_argument(
+        "--broadcast-threshold",
+        type=int,
+        default=DEFAULT_BROADCAST_THRESHOLD,
+        metavar="ROWS",
+        help="broadcast threshold checked by QL006 (default %d)"
+        % DEFAULT_BROADCAST_THRESHOLD,
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the query service over JSON-lines requests "
@@ -612,6 +728,12 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the version-keyed result cache",
     )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="disable static lint admission (repro.analysis.query); "
+        "lint-rejectable queries then run and fail at execution time",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -627,6 +749,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "loadtest": cmd_loadtest,
         "stats": cmd_stats,
+        "lint": cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -141,7 +141,11 @@ def diff_against_paper(registry: SystemRegistry) -> List[str]:
     """
     problems: List[str] = []
     computed_i = table_i_cells(registry)
-    for key in set(PAPER_TABLE_I) | set(computed_i):
+    cells = sorted(
+        set(PAPER_TABLE_I) | set(computed_i),
+        key=lambda cell: (cell[0].value, cell[1].value),
+    )
+    for key in cells:
         expected = tuple(sorted(PAPER_TABLE_I.get(key, ())))
         actual = tuple(sorted(computed_i.get(key, ())))
         if expected != actual:

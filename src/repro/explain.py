@@ -192,6 +192,11 @@ def explain(
             ),
         )
     sections: List[str] = []
+    lint_block = _lint_section(
+        query, graph, optimizer, optimizer_mode, broadcast_threshold
+    )
+    if lint_block:
+        sections.append(lint_block)
     for engine in engines:
         cls = engine_class(engine) if isinstance(engine, str) else engine
         sections.append(
@@ -200,6 +205,52 @@ def explain(
             ).render()
         )
     return "\n\n".join(sections)
+
+
+def _lint_section(
+    query: Query,
+    graph: RDFGraph,
+    optimizer,
+    optimizer_mode: str,
+    broadcast_threshold: Optional[int],
+) -> str:
+    """The static-lint preamble of an EXPLAIN, empty when clean.
+
+    Findings apply to the query, not to any engine, so they render once
+    above the per-engine sections (and deliberately without the
+    ``== name ==`` header engines use).
+    """
+    from repro.analysis import lint_query
+    from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD
+    from repro.stats import StatsCatalog
+
+    catalog = (
+        optimizer.catalog
+        if optimizer is not None
+        else StatsCatalog.from_graph(graph)
+    )
+    report = lint_query(
+        query,
+        subject="query",
+        catalog=catalog,
+        broadcast_threshold=(
+            DEFAULT_BROADCAST_THRESHOLD
+            if broadcast_threshold is None
+            else broadcast_threshold
+        ),
+        mode=optimizer_mode,
+    )
+    if not report.diagnostics:
+        return ""
+    lines = [
+        "lint: %d error(s), %d warning(s)"
+        % (report.count("error"), report.count("warning"))
+    ]
+    lines.extend(
+        "  " + diagnostic.render()
+        for diagnostic in report.sorted_diagnostics()
+    )
+    return "\n".join(lines)
 
 
 def run_record(

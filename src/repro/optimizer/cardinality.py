@@ -215,7 +215,9 @@ class CardinalityEstimator:
         # divide by the rest (System-R).
         by_variable: Dict[str, List[float]] = {}
         for pattern in patterns:
-            for variable in set(pattern.variables()):
+            for variable in sorted(
+                set(pattern.variables()), key=lambda v: v.name
+            ):
                 by_variable.setdefault(variable.name, []).append(
                     self.variable_distinct(pattern, variable.name)
                 )

@@ -117,20 +117,41 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
+    def lookup(
+        self, normalized: str, stats_version: int = 0
+    ) -> Optional[Query]:
+        """The cached plan, or None -- never parses, never inserts.
+
+        The service's admission path uses this split so a query that
+        lint rejects leaves the cache exactly as it found it (entries
+        *and* LRU order matter: a lookup refreshes recency only on a
+        hit, which a rejected request cannot produce for a plan that
+        was never admitted).
+        """
+        key = (stats_version, normalized)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+        return plan
+
+    def put(
+        self, normalized: str, plan: Query, stats_version: int = 0
+    ) -> None:
+        """Insert one parsed plan, evicting LRU past capacity."""
+        self._plans[(stats_version, normalized)] = plan
+        self._plans.move_to_end((stats_version, normalized))
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
     def get_or_parse(
         self, normalized: str, metrics=None, stats_version: int = 0
     ) -> Tuple[Query, bool]:
         """(parsed query, was_hit) for one normalized query text."""
-        key = (stats_version, normalized)
-        plan = self._plans.get(key)
+        plan = self.lookup(normalized, stats_version=stats_version)
         hit = plan is not None
-        if hit:
-            self._plans.move_to_end(key)
-        else:
+        if not hit:
             plan = parse_sparql(normalized)
-            self._plans[key] = plan
-            if len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
+            self.put(normalized, plan, stats_version=stats_version)
         if metrics is not None:
             metrics.record_plan_cache(hit)
         return plan, hit

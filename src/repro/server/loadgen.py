@@ -66,6 +66,7 @@ class LoadReport:
     completed: int = 0
     ok: int = 0
     rejected: int = 0
+    lint_rejected: int = 0
     deadline_aborts: int = 0
     errors: int = 0
     duration_units: int = 0
@@ -95,6 +96,7 @@ class LoadReport:
                 "completed": self.completed,
                 "ok": self.ok,
                 "rejected": self.rejected,
+                "lint_rejected": self.lint_rejected,
                 "deadline_aborts": self.deadline_aborts,
                 "errors": self.errors,
             },
@@ -299,6 +301,10 @@ class LoadGenerator:
             tenant["service_units"] += outcome.service_units
             if outcome.status == "ok":
                 report.ok += 1
+            elif outcome.status == "rejected":
+                # Static lint rejection: counted apart from queue
+                # rejections (report.rejected), which never execute.
+                report.lint_rejected += 1
             elif outcome.status == "deadline":
                 report.deadline_aborts += 1
             else:
@@ -402,6 +408,7 @@ class LoadGenerator:
             "queue_limit": self.service.queue.queue_limit,
             "plan_cache": self.service.enable_plan_cache,
             "result_cache": self.service.enable_result_cache,
+            "lint": self.service.lint_admission,
             "clients": self.clients,
             "tenants": self.tenants,
             "requests_per_client": self.requests_per_client,

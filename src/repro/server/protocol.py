@@ -44,8 +44,13 @@ One JSON object per line.  Requests::
 
 ``op`` defaults to ``query`` when omitted.  Responses echo the request
 ``id`` and carry ``status`` (``ok`` / ``rejected`` / ``deadline`` /
-``error``), the canonical ``result`` for ``ok``, and accounting fields
-(``units``, ``cache``, ``version``).
+``error`` / ``unsupported``), the canonical ``result`` for ``ok``, and
+accounting fields (``units``, ``cache``, ``version``).  ``rejected``
+means the request never executed: either admission control turned it
+away or the static plan linter (:mod:`repro.analysis.query`) found an
+error-severity diagnostic, in which case the response also carries a
+``diagnostics`` list (the linter's sorted findings, each with ``code``,
+``severity``, ``message``, and location fields).
 """
 
 from __future__ import annotations

@@ -14,11 +14,15 @@ Request lifecycle::
 
     submit()                 # or the load generator's simulated workers
       normalize_query(text)
-      plan cache  -- hit: reuse parsed Query, miss: parse + insert
+      plan cache  -- hit: reuse parsed Query, miss: parse
+      static lint (repro.analysis.query) -- errors: reject *before*
+            any cache insert or engine work (status "rejected",
+            structured diagnostics, zero service units)
+      plan cache insert (miss, admitted only)
       result cache (text, version, engine) -- hit: return stored bytes
       miss: engine.execute under ctx.set_deadline(budget)
             -> canonical_result -> canonical_json -> cache put
-      outcome: ok | deadline | unsupported | failed
+      outcome: ok | deadline | rejected | unsupported | failed
 
 Graph evolution: :meth:`commit` applies a change set through the
 versioned store, bumps the version, actively invalidates stale result
@@ -29,8 +33,9 @@ version, staleness is impossible even between the bump and the purge.
 Determinism: the service owns its own
 :class:`~repro.spark.metrics.MetricsCollector` and
 :class:`~repro.spark.tracing.Tracer` (span kinds ``request`` /
-``admission`` / ``plan`` / ``result`` / ``commit``); neither consults a
-clock, so a request sequence replays to byte-identical outcomes.
+``admission`` / ``lint`` / ``plan`` / ``result`` / ``commit``); neither
+consults a clock, so a request sequence replays to byte-identical
+outcomes.
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.analysis.core import AnalysisReport
+from repro.analysis.query import lint_query
 from repro.rdf.graph import RDFGraph
 from repro.evolution.versioned import VersionedGraph
 from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, Optimizer
@@ -50,6 +57,8 @@ from repro.spark.deadline import DeadlineExceededError, cost_units
 from repro.spark.faults import FaultScheduler, TaskFailedError
 from repro.spark.metrics import MetricsCollector, MetricsSnapshot
 from repro.spark.tracing import Tracer
+from repro.sparql.parser import parse_sparql
+from repro.stats.catalog import StatsCatalog
 from repro.systems.base import UnsupportedQueryError
 
 #: Cost units charged for answering from the result cache.  Non-zero so
@@ -88,6 +97,9 @@ class QueryOutcome:
     version: int = 0
     worker: int = 0
     error: str = ""
+    #: Sorted lint diagnostics (payload dicts) when the static analyzer
+    #: had findings; always populated on ``rejected`` outcomes.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_response(self) -> Dict[str, Any]:
         """The JSON-lines response object for this outcome."""
@@ -102,6 +114,8 @@ class QueryOutcome:
             response["result"] = self.payload
         if self.error:
             response["error"] = self.error
+        if self.diagnostics:
+            response["diagnostics"] = list(self.diagnostics)
         return response
 
 
@@ -126,6 +140,7 @@ class QueryService:
         optimize: bool = False,
         optimizer_mode: str = "dp",
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
+        lint_admission: bool = True,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
@@ -156,6 +171,10 @@ class QueryService:
         self.optimizer: Optional[Optimizer] = None
         if optimize:
             self.optimizer = self._build_optimizer()
+        self.lint_admission = lint_admission
+        self._lint_catalog: Optional[StatsCatalog] = None
+        if lint_admission:
+            self._lint_catalog = self._build_lint_catalog()
         self.pool = [
             self._build_worker() for _ in range(pool_size)
         ]
@@ -168,6 +187,19 @@ class QueryService:
             version=self.versions.head_version,
             mode=self._optimizer_mode,
             broadcast_threshold=self._broadcast_threshold,
+        )
+
+    def _build_lint_catalog(self) -> StatsCatalog:
+        """Statistics for the admission linter at the current head.
+
+        Shares the optimizer's catalog when one exists (same graph pass,
+        same version); otherwise computes a catalog of its own, so lint
+        admission works on unoptimized services too.
+        """
+        if self.optimizer is not None:
+            return self.optimizer.catalog
+        return StatsCatalog.from_graph(
+            self.versions.head(), version=self.versions.head_version
         )
 
     def _build_worker(self):
@@ -254,28 +286,59 @@ class QueryService:
             worker=worker,
         )
         normalized = normalize_query(request.text)
+        budget = (
+            request.deadline
+            if request.deadline is not None
+            else self.default_deadline
+        )
 
-        # Plan tier.
+        # Plan tier, lookup only: a lint rejection below must leave both
+        # caches exactly as it found them, so the miss-path insert is
+        # deferred until the request is admitted.
+        plan = None
+        plan_hit = False
         if self.enable_plan_cache:
+            plan = self.plan_cache.lookup(
+                normalized, stats_version=self.stats_version
+            )
+            plan_hit = plan is not None
+        if plan is None:
             try:
-                plan, plan_hit = self.plan_cache.get_or_parse(
-                    normalized, self.metrics, stats_version=self.stats_version
-                )
+                plan = parse_sparql(normalized)
             except ValueError as exc:
                 outcome.status = "error"
                 outcome.error = "parse error: %s" % exc
                 self.metrics.record_completion(0, 0)
                 return outcome
-        else:
-            try:
-                from repro.sparql.parser import parse_sparql
 
-                plan, plan_hit = parse_sparql(normalized), False
-            except ValueError as exc:
-                outcome.status = "error"
-                outcome.error = "parse error: %s" % exc
+        # Static admission: reject provably-bad queries before they
+        # consume service units or populate any cache tier.  Runs on
+        # plan-cache hits too -- QL005 depends on this request's budget.
+        if self.lint_admission:
+            report = self._lint(plan, request, budget)
+            errors = sorted(
+                report.errors, key=lambda d: d.sort_key()
+            )
+            if errors:
+                outcome.status = "rejected"
+                outcome.error = "lint: %s %s" % (
+                    errors[0].code,
+                    errors[0].message,
+                )
+                outcome.diagnostics = [
+                    d.to_payload() for d in report.sorted_diagnostics()
+                ]
+                self.metrics.record_lint_rejection()
                 self.metrics.record_completion(0, 0)
                 return outcome
+
+        # Admitted: account the plan tier and keep the parse for reuse.
+        if self.enable_plan_cache:
+            if not plan_hit:
+                self.plan_cache.put(
+                    normalized, plan, stats_version=self.stats_version
+                )
+            self.metrics.record_plan_cache(plan_hit)
 
         # Result tier.
         key = (normalized, self.version, self.engine_name)
@@ -291,11 +354,6 @@ class QueryService:
         # Cold (or plan-warm) execution under a deadline.
         engine = self.pool[worker]
         ctx = engine.ctx
-        budget = (
-            request.deadline
-            if request.deadline is not None
-            else self.default_deadline
-        )
         before = ctx.metrics.snapshot()
         ctx.set_deadline(budget, query=request.id or normalized[:40])
         try:
@@ -328,6 +386,31 @@ class QueryService:
         self.metrics.record_completion(0, outcome.service_units)
         return outcome
 
+    def _lint(self, plan, request: QueryRequest, budget) -> AnalysisReport:
+        """Run the static linter over one parsed plan, traced."""
+
+        def run() -> AnalysisReport:
+            return lint_query(
+                plan,
+                subject=request.id or "query",
+                catalog=self._lint_catalog,
+                deadline=budget,
+                broadcast_threshold=self._broadcast_threshold,
+                mode=self._optimizer_mode,
+            )
+
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "lint", name=request.id or "-"
+            ) as span:
+                report = run()
+                if span is not None:
+                    span.attrs["errors"] = report.count("error")
+                    span.attrs["warnings"] = report.count("warning")
+                    span.attrs["rejected"] = bool(report.errors)
+                return report
+        return run()
+
     # ------------------------------------------------------------------
     # Evolution
     # ------------------------------------------------------------------
@@ -356,6 +439,10 @@ class QueryService:
             # Refresh statistics at the new head; the bumped stats version
             # retires every plan-cache entry keyed under the old catalog.
             self.optimizer = self._build_optimizer()
+        if self.lint_admission:
+            # Lint statistics must track the served head, or admission
+            # would reject queries over predicates this commit added.
+            self._lint_catalog = self._build_lint_catalog()
         for engine in self.pool:
             engine.load(head)
             if self.optimizer is not None:
@@ -375,6 +462,7 @@ class QueryService:
             "version": self.version,
             "optimizer": self._optimizer_mode if self.optimizer else None,
             "stats_version": self.stats_version,
+            "lint_admission": self.lint_admission,
             "plan_cache_entries": len(self.plan_cache),
             "result_cache_entries": len(self.result_cache),
             "counters": {name: value for name, value in snapshot if value},

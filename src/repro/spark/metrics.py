@@ -135,6 +135,10 @@ class MetricsSnapshot:
         return self["queries_completed"]
 
     @property
+    def lint_rejections(self) -> int:
+        return self["lint_rejections"]
+
+    @property
     def deadline_aborts(self) -> int:
         return self["deadline_aborts"]
 
@@ -208,6 +212,10 @@ class MetricsCollector:
     ``queries_admitted`` / ``queries_rejected`` / ``queries_completed``
         Requests accepted by admission control, turned away by the
         bounded queue, and finished (any terminal status).
+    ``lint_rejections``
+        Queries the static plan linter rejected at admission
+        (:mod:`repro.analysis.query`) before any service units were
+        consumed.
     ``deadline_aborts``
         Queries killed by a cost-unit deadline
         (:class:`~repro.spark.deadline.DeadlineExceededError`).
@@ -302,6 +310,9 @@ class MetricsCollector:
 
     def record_deadline_abort(self) -> None:
         self.incr("deadline_aborts")
+
+    def record_lint_rejection(self) -> None:
+        self.incr("lint_rejections")
 
     def record_plan_cache(self, hit: bool) -> None:
         self.incr("plan_cache_hits" if hit else "plan_cache_misses")

@@ -69,6 +69,10 @@ own service-level collector and adds:
 ``commit``
     One graph-version bump, with the new version and the invalidation
     count it caused.
+``lint``
+    Static analysis of one request at admission
+    (:mod:`repro.analysis.query`); attrs carry the error and warning
+    counts and whether the request was rejected.
 """
 
 from __future__ import annotations

@@ -108,7 +108,8 @@ class GraphFramesEngine(SparkRdfEngine):
             # A variable predicate may match anything: no pruning possible.
             self.last_pruned_edge_count = self.total_edges
             return self.gframe
-        pruned = self.gframe.filterEdges(col("label").isin(list(set(constants))))
+        labels = sorted(set(constants), key=lambda term: term.sort_key())
+        pruned = self.gframe.filterEdges(col("label").isin(labels))
         self.last_pruned_edge_count = pruned.edges.count()
         return pruned
 

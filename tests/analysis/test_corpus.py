@@ -1,0 +1,114 @@
+"""The example corpora: every pathological query is flagged and never
+reaches execution through the service; the clean corpus sails through."""
+
+import os
+
+import pytest
+
+from repro.analysis import lint_text
+from repro.server import QueryRequest, QueryService
+from repro.stats import StatsCatalog
+
+CORPUS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    os.pardir,
+    "examples",
+    "queries",
+)
+PATHOLOGICAL = os.path.normpath(os.path.join(CORPUS, "pathological"))
+CLEAN = os.path.normpath(os.path.join(CORPUS, "clean"))
+
+#: file name -> the error code it must be flagged with.
+EXPECTED = {
+    "cartesian_product.rq": "QL001",
+    "disconnected_groups.rq": "QL001",
+    "unbound_projection.rq": "QL002",
+    "constant_false_filter.rq": "QL003",
+    "contradictory_range.rq": "QL003",
+    "conflicting_equality.rq": "QL003",
+    "unknown_predicate.rq": "QL004",
+    "over_budget.rq": "QL005",
+    "syntax_error.rq": "QL000",
+}
+
+
+def read(directory, name):
+    with open(os.path.join(directory, name), "r", encoding="utf-8") as f:
+        return f.read()
+
+
+@pytest.fixture(scope="module")
+def catalog(lubm_graph):
+    return StatsCatalog.from_graph(lubm_graph)
+
+
+@pytest.fixture(scope="module")
+def service(lubm_graph):
+    return QueryService(lubm_graph, engine="SPARQLGX", pool_size=1)
+
+
+class TestCorpusShape:
+    def test_at_least_eight_pathological_queries(self):
+        files = sorted(
+            f for f in os.listdir(PATHOLOGICAL) if f.endswith(".rq")
+        )
+        assert len(files) >= 8
+        assert files == sorted(EXPECTED)
+
+    def test_clean_corpus_exists(self):
+        assert len(
+            [f for f in os.listdir(CLEAN) if f.endswith(".rq")]
+        ) >= 3
+
+
+class TestPathological:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_flagged_with_expected_code(self, name, catalog):
+        report = lint_text(
+            read(PATHOLOGICAL, name),
+            subject=name,
+            catalog=catalog,
+            deadline=5,
+        )
+        flagged = {d.code for d in report.errors}
+        assert EXPECTED[name] in flagged, (
+            "%s: expected %s, got %s" % (name, EXPECTED[name], flagged)
+        )
+        assert report.exit_code() == 5
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_never_reaches_execution(self, name, service):
+        before = [
+            engine.ctx.metrics.snapshot() for engine in service.pool
+        ]
+        outcome = service.submit(
+            QueryRequest(text=read(PATHOLOGICAL, name), deadline=5)
+        )
+        # Syntax errors fail at parse, the rest at lint admission; in
+        # either case no engine ever sees the query.
+        assert outcome.status in ("rejected", "error")
+        assert outcome.service_units == 0
+        for engine, snapshot in zip(service.pool, before):
+            delta = engine.ctx.metrics.snapshot() - snapshot
+            assert delta.tasks == 0
+            assert delta.records_scanned == 0
+
+
+class TestClean:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(f for f in os.listdir(CLEAN) if f.endswith(".rq")),
+    )
+    def test_lints_clean(self, name, catalog):
+        report = lint_text(
+            read(CLEAN, name), subject=name, catalog=catalog
+        )
+        assert report.exit_code() == 0, report.render()
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(f for f in os.listdir(CLEAN) if f.endswith(".rq")),
+    )
+    def test_executes_through_service(self, name, service):
+        outcome = service.submit(QueryRequest(text=read(CLEAN, name)))
+        assert outcome.status == "ok"

@@ -1,0 +1,364 @@
+"""Front 2: the AST determinism checker (rules ``DT000`` .. ``DT005``)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.determinism import check_paths, check_source, main
+
+
+def run(source):
+    return check_source("mod.py", textwrap.dedent(source))
+
+
+def codes(report):
+    return sorted({d.code for d in report.diagnostics})
+
+
+class TestUnsortedJson:
+    def test_dumps_without_sort_keys(self):
+        report = run(
+            """
+            import json
+            def f(payload):
+                return json.dumps(payload)
+            """
+        )
+        assert codes(report) == ["DT001"]
+
+    def test_dumps_sort_keys_false(self):
+        report = run(
+            """
+            import json
+            def f(payload):
+                return json.dumps(payload, sort_keys=False)
+            """
+        )
+        assert codes(report) == ["DT001"]
+
+    def test_dumps_sorted_clean(self):
+        report = run(
+            """
+            import json
+            def f(payload):
+                return json.dumps(payload, sort_keys=True)
+            """
+        )
+        assert codes(report) == []
+
+    def test_dump_to_handle_flagged(self):
+        report = run(
+            """
+            import json
+            def f(payload, handle):
+                json.dump(payload, handle)
+            """
+        )
+        assert codes(report) == ["DT001"]
+
+    def test_aliased_import_tracked(self):
+        report = run(
+            """
+            import json as j
+            def f(payload):
+                return j.dumps(payload)
+            """
+        )
+        assert codes(report) == ["DT001"]
+
+    def test_kwargs_splat_trusted(self):
+        # **kwargs may carry sort_keys=True; static analysis must not
+        # cry wolf on what it cannot see.
+        report = run(
+            """
+            import json
+            def f(payload, kwargs):
+                return json.dumps(payload, **kwargs)
+            """
+        )
+        assert codes(report) == []
+
+    def test_loads_never_flagged(self):
+        report = run(
+            """
+            import json
+            def f(text):
+                return json.loads(text)
+            """
+        )
+        assert codes(report) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call(self):
+        report = run(
+            """
+            def f(items):
+                for item in set(items):
+                    print(item)
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_for_over_set_literal(self):
+        report = run(
+            """
+            def f():
+                for item in {1, 2, 3}:
+                    print(item)
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_comprehension_over_set_union(self):
+        report = run(
+            """
+            def f(a, b):
+                return [x for x in set(a) | set(b)]
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_sorted_set_clean(self):
+        report = run(
+            """
+            def f(items):
+                for item in sorted(set(items)):
+                    print(item)
+            """
+        )
+        assert codes(report) == []
+
+    def test_order_insensitive_consumers_clean(self):
+        report = run(
+            """
+            def f(items):
+                total = sum(x for x in set(items))
+                count = len(set(items))
+                biggest = max(x * 2 for x in set(items))
+                return total, count, biggest
+            """
+        )
+        assert codes(report) == []
+
+    def test_set_comprehension_result_clean(self):
+        # The *result* is a set again: order never escapes.
+        report = run(
+            """
+            def f(items):
+                return {x * 2 for x in set(items)}
+            """
+        )
+        assert codes(report) == []
+
+    def test_list_conversion_of_set(self):
+        report = run(
+            """
+            def f(items):
+                return list(set(items))
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_for_over_list_clean(self):
+        report = run(
+            """
+            def f(items):
+                for item in list(items):
+                    print(item)
+            """
+        )
+        assert codes(report) == []
+
+
+class TestUnseededRandom:
+    def test_module_level_random_call(self):
+        report = run(
+            """
+            import random
+            def f():
+                return random.random()
+            """
+        )
+        assert codes(report) == ["DT003"]
+
+    def test_module_level_choice(self):
+        report = run(
+            """
+            import random
+            def f(items):
+                return random.choice(items)
+            """
+        )
+        assert codes(report) == ["DT003"]
+
+    def test_seeded_instance_clean(self):
+        report = run(
+            """
+            import random
+            def f(seed, items):
+                rng = random.Random(seed)
+                return rng.choice(items)
+            """
+        )
+        assert codes(report) == []
+
+
+class TestWallClock:
+    def test_time_time(self):
+        report = run(
+            """
+            import time
+            def f():
+                return time.time()
+            """
+        )
+        assert codes(report) == ["DT004"]
+
+    def test_perf_counter(self):
+        report = run(
+            """
+            import time
+            def f():
+                return time.perf_counter()
+            """
+        )
+        assert codes(report) == ["DT004"]
+
+    def test_datetime_now(self):
+        report = run(
+            """
+            import datetime
+            def f():
+                return datetime.datetime.now()
+            """
+        )
+        assert codes(report) == ["DT004"]
+
+    def test_from_import_now(self):
+        report = run(
+            """
+            from datetime import datetime
+            def f():
+                return datetime.utcnow()
+            """
+        )
+        assert codes(report) == ["DT004"]
+
+    def test_time_sleep_clean(self):
+        report = run(
+            """
+            import time
+            def f():
+                time.sleep(0)
+            """
+        )
+        assert codes(report) == []
+
+
+class TestMutableDefaults:
+    def test_list_default_warns(self):
+        report = run(
+            """
+            def f(items=[]):
+                return items
+            """
+        )
+        found = report.diagnostics
+        assert codes(report) == ["DT005"]
+        assert all(d.severity == "warning" for d in found)
+        assert report.exit_code() == 4
+
+    def test_dict_default_warns(self):
+        assert codes(run("def f(mapping={}):\n    return mapping\n")) == [
+            "DT005"
+        ]
+
+    def test_none_default_clean(self):
+        assert codes(run("def f(items=None):\n    return items\n")) == []
+
+
+class TestSuppression:
+    def test_allow_on_flagged_line(self):
+        report = run(
+            """
+            import time
+            def f():
+                return time.time()  # repro: allow(DT004)
+            """
+        )
+        assert codes(report) == []
+
+    def test_allow_on_line_above(self):
+        report = run(
+            """
+            import time
+            def f():
+                # repro: allow(DT004)
+                return time.time()
+            """
+        )
+        assert codes(report) == []
+
+    def test_allow_lists_multiple_codes(self):
+        report = run(
+            """
+            import time
+            def f():
+                # repro: allow(DT001, DT004)
+                return time.time()
+            """
+        )
+        assert codes(report) == []
+
+    def test_allow_wrong_code_does_not_suppress(self):
+        report = run(
+            """
+            import time
+            def f():
+                return time.time()  # repro: allow(DT001)
+            """
+        )
+        assert codes(report) == ["DT004"]
+
+
+class TestFilesAndCli:
+    def test_syntax_error_is_dt000(self):
+        report = check_source("broken.py", "def f(:\n")
+        assert codes(report) == ["DT000"]
+        assert report.exit_code() == 5
+
+    def test_check_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        report = check_paths([str(tmp_path)])
+        assert codes(report) == ["DT004"]
+        assert report.diagnostics[0].location.endswith("bad.py")
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+        assert main([str(bad)]) == 5
+        capsys.readouterr()
+
+    def test_main_missing_path_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_src_repro_is_clean(self):
+        """The shipped tree passes its own gate (the CI invariant)."""
+        import os
+
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        report = check_paths([root])
+        assert report.render().endswith("0 error(s), 0 warning(s)"), (
+            report.render()
+        )

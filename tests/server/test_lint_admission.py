@@ -1,0 +1,163 @@
+"""Static lint admission: rejection before any service unit is spent."""
+
+import pytest
+
+from repro.rdf.triple import Triple
+from repro.data.lubm import LUBM
+from repro.server import QueryRequest, QueryService
+
+CARTESIAN = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "SELECT ?s ?t WHERE { ?s lubm:memberOf ?d . ?t lubm:teacherOf ?c }"
+)
+UNKNOWN = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "SELECT ?s WHERE { ?s lubm:hasTelepathy ?x }"
+)
+CLEAN = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+    "SELECT DISTINCT ?d WHERE { ?s lubm:memberOf ?d }"
+)
+SCAN = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+
+@pytest.fixture
+def service(lubm_graph):
+    return QueryService(lubm_graph, engine="SPARQLGX", pool_size=2)
+
+
+class TestRejection:
+    def test_status_and_structured_error(self, service):
+        outcome = service.submit(QueryRequest(text=CARTESIAN, id="bad"))
+        assert outcome.status == "rejected"
+        assert outcome.error.startswith("lint: QL001")
+        assert outcome.payload is None
+
+    def test_diagnostics_in_outcome_and_response(self, service):
+        outcome = service.submit(QueryRequest(text=CARTESIAN, id="bad"))
+        assert outcome.diagnostics
+        assert outcome.diagnostics[0]["code"] == "QL001"
+        response = outcome.to_response()
+        assert response["status"] == "rejected"
+        assert response["diagnostics"] == outcome.diagnostics
+
+    def test_clean_queries_unaffected(self, service):
+        assert service.submit(QueryRequest(text=CLEAN)).status == "ok"
+
+    def test_deadline_budget_feeds_ql005(self, service):
+        doomed = service.submit(QueryRequest(text=SCAN, deadline=5))
+        assert doomed.status == "rejected"
+        assert "QL005" in doomed.error
+        # Without a deadline the same scan is admitted and completes.
+        assert service.submit(QueryRequest(text=SCAN)).status == "ok"
+
+    def test_warnings_do_not_reject(self, lubm_graph):
+        # A threshold above the dataset size only *warns* (QL006).
+        service = QueryService(
+            lubm_graph,
+            engine="SPARQLGX",
+            pool_size=1,
+            broadcast_threshold=10**6,
+        )
+        outcome = service.submit(QueryRequest(text=CLEAN))
+        assert outcome.status == "ok"
+
+
+class TestNoSideEffects:
+    """Satellite: a lint-rejected query leaves every tier untouched."""
+
+    def test_no_service_units_charged(self, service):
+        outcome = service.submit(QueryRequest(text=CARTESIAN))
+        assert outcome.service_units == 0
+        assert service.snapshot().get("service_units") == 0
+
+    def test_no_engine_work(self, service):
+        before = [engine.ctx.metrics.snapshot() for engine in service.pool]
+        service.submit(QueryRequest(text=CARTESIAN))
+        for engine, snapshot in zip(service.pool, before):
+            delta = engine.ctx.metrics.snapshot() - snapshot
+            assert delta.records_scanned == 0
+            assert delta.tasks == 0
+
+    def test_caches_stay_empty(self, service):
+        service.submit(QueryRequest(text=CARTESIAN))
+        assert len(service.plan_cache) == 0
+        assert len(service.result_cache) == 0
+
+    def test_no_cache_metrics_recorded(self, service):
+        service.submit(QueryRequest(text=CARTESIAN))
+        snapshot = service.snapshot()
+        assert snapshot.plan_cache_hits == 0
+        assert snapshot.plan_cache_misses == 0
+        assert snapshot.result_cache_hits == 0
+        assert snapshot.result_cache_misses == 0
+
+    def test_retry_after_rejection_is_cold(self, service):
+        service.submit(QueryRequest(text=SCAN, deadline=5))
+        retry = service.submit(QueryRequest(text=SCAN))
+        assert retry.status == "ok"
+        assert retry.cache == "cold"
+
+    def test_rejections_counted(self, service):
+        service.submit(QueryRequest(text=CARTESIAN))
+        service.submit(QueryRequest(text=CLEAN))
+        snapshot = service.snapshot()
+        assert snapshot.lint_rejections == 1
+        assert snapshot.queries_completed == 2
+
+
+class TestLintSpans:
+    def test_lint_span_recorded(self, service):
+        service.tracer.clear().enable()
+        service.submit(QueryRequest(text=CARTESIAN, id="bad"))
+        service.tracer.disable()
+        (request_span,) = service.tracer.roots
+        lint_spans = [
+            s for s in request_span.children if s.kind == "lint"
+        ]
+        assert len(lint_spans) == 1
+        assert lint_spans[0].attrs["errors"] >= 1
+        assert lint_spans[0].attrs["rejected"] is True
+
+    def test_admitted_query_also_linted(self, service):
+        service.tracer.clear().enable()
+        service.submit(QueryRequest(text=CLEAN, id="fine"))
+        service.tracer.disable()
+        (request_span,) = service.tracer.roots
+        lint_spans = [
+            s for s in request_span.children if s.kind == "lint"
+        ]
+        assert len(lint_spans) == 1
+        assert lint_spans[0].attrs["rejected"] is False
+
+
+class TestDisable:
+    def test_no_lint_lets_cartesian_execute(self, lubm_graph):
+        service = QueryService(
+            lubm_graph,
+            engine="SPARQLGX",
+            pool_size=1,
+            lint_admission=False,
+        )
+        outcome = service.submit(QueryRequest(text=CARTESIAN))
+        assert outcome.status == "ok"
+        assert service.snapshot().lint_rejections == 0
+
+    def test_stats_reports_flag(self, lubm_graph, service):
+        assert service.stats()["lint_admission"] is True
+        off = QueryService(lubm_graph, pool_size=1, lint_admission=False)
+        assert off.stats()["lint_admission"] is False
+
+
+class TestCommitRefresh:
+    def test_new_predicate_admitted_after_commit(self, lubm_graph):
+        """QL004 must track the served head, not construction time."""
+        service = QueryService(lubm_graph, engine="SPARQLGX", pool_size=1)
+        before = service.submit(QueryRequest(text=UNKNOWN))
+        assert before.status == "rejected"
+        assert "QL004" in before.error
+        service.commit(
+            additions=[Triple(LUBM["S"], LUBM.hasTelepathy, LUBM["X"])]
+        )
+        after = service.submit(QueryRequest(text=UNKNOWN))
+        assert after.status == "ok"

@@ -127,7 +127,13 @@ class TestClosedLoop:
         assert report.rejected == 0
 
     def test_deadline_aborts_coexist_with_completions(self, lubm_graph):
-        report = run_load(lubm_graph, deadline=30)
+        # Lint admission off: QL005 would reject the doomed queries up
+        # front, and this test is about *runtime* deadline aborts.
+        report = run_load(
+            lubm_graph,
+            deadline=30,
+            service_kwargs={"lint_admission": False},
+        )
         assert report.deadline_aborts > 0
         assert report.ok > 0  # concurrent queries still complete
         payload = report.to_payload()

@@ -147,27 +147,43 @@ class TestVersioning:
 
 
 class TestDeadlines:
+    """Runtime deadline behavior.
+
+    These tests disable lint admission: the static linter (QL005) would
+    otherwise reject the doomed queries before execution, which is the
+    subject of tests/server/test_lint_admission.py -- here the point is
+    what happens when an admitted query *runs out* of budget.
+    """
+
+    @pytest.fixture
+    def unlinted(self, lubm_graph):
+        return QueryService(
+            lubm_graph, engine="SPARQLGX", pool_size=2, lint_admission=False
+        )
+
     def test_over_deadline_query_fails_typed_while_others_complete(
-        self, service
+        self, unlinted
     ):
         """The acceptance scenario: one doomed query, healthy neighbours."""
-        doomed = service.submit(
+        doomed = unlinted.submit(
             QueryRequest(text=SCAN_QUERY, id="doomed", deadline=5)
         )
         assert doomed.status == "deadline"
         assert "cost unit" in doomed.error
-        healthy = service.submit(QueryRequest(text=MEMBER_QUERY, id="ok"))
+        healthy = unlinted.submit(QueryRequest(text=MEMBER_QUERY, id="ok"))
         assert healthy.status == "ok"
-        assert service.snapshot().deadline_aborts == 1
+        assert unlinted.snapshot().deadline_aborts == 1
 
-    def test_deadline_abort_is_not_cached(self, service):
-        service.submit(QueryRequest(text=SCAN_QUERY, deadline=5))
-        retry = service.submit(QueryRequest(text=SCAN_QUERY))
+    def test_deadline_abort_is_not_cached(self, unlinted):
+        unlinted.submit(QueryRequest(text=SCAN_QUERY, deadline=5))
+        retry = unlinted.submit(QueryRequest(text=SCAN_QUERY))
         assert retry.status == "ok"
         assert retry.cache in ("cold", "plan")
 
     def test_default_deadline_applies(self, lubm_graph):
-        service = QueryService(lubm_graph, pool_size=1, default_deadline=5)
+        service = QueryService(
+            lubm_graph, pool_size=1, default_deadline=5, lint_admission=False
+        )
         assert (
             service.submit(QueryRequest(text=SCAN_QUERY)).status == "deadline"
         )
@@ -179,9 +195,9 @@ class TestDeadlines:
         )
         assert generous.status == "ok"
 
-    def test_deadline_disarmed_after_abort(self, service):
-        service.submit(QueryRequest(text=SCAN_QUERY, deadline=5))
-        for engine in service.pool:
+    def test_deadline_disarmed_after_abort(self, unlinted):
+        unlinted.submit(QueryRequest(text=SCAN_QUERY, deadline=5))
+        for engine in unlinted.pool:
             assert engine.ctx.deadline is None
 
     def test_deadline_error_direct_engine_access(self, service):

@@ -1,0 +1,185 @@
+"""The CLI exit-code contract, one parametrized suite.
+
+The full map (documented in README.md):
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     success; ``lint`` found nothing
+2     unusable inputs (bad spec, unknown engine, unreadable file)
+3     a fault schedule exhausted ``--max-task-attempts``
+4     ``lint`` found warnings only
+5     ``lint`` found errors
+====  ==========================================================
+
+(``assess`` and ``claims`` additionally exit 1 when a correctness or
+claims check fails; that path needs a broken engine and is covered by
+their own tests.)
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.rdf.ntriples import save_ntriples_file
+
+CLEAN_QUERY = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>"
+    " SELECT ?s ?d WHERE { ?s lubm:memberOf ?d }"
+)
+CARTESIAN_QUERY = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>"
+    " SELECT ?s ?t WHERE { ?s lubm:memberOf ?d . ?t lubm:teacherOf ?c }"
+)
+STAR_QUERY = (
+    "PREFIX lubm: <http://repro.example.org/lubm#>"
+    " SELECT ?s ?n WHERE { ?s lubm:memberOf ?d . ?s lubm:name ?n }"
+)
+# Two patterns, default broadcast threshold raised over the dataset
+# size: QL006 is the only warning-severity query rule.
+WARNING_ARGS = ["--broadcast-threshold", "1000000"]
+
+
+@pytest.fixture
+def data_file(tmp_path, lubm_graph):
+    path = tmp_path / "data.nt"
+    save_ntriples_file(str(path), lubm_graph)
+    return str(path)
+
+
+def build_cases():
+    """(id, argv builder, expected exit code) triples."""
+    return [
+        (
+            "ok-query",
+            lambda d, t: ["query", d, CLEAN_QUERY],
+            0,
+        ),
+        (
+            "ok-lint-clean",
+            lambda d, t: ["lint", CLEAN_QUERY, "--data", d],
+            0,
+        ),
+        (
+            "ok-tables",
+            lambda d, t: ["tables"],
+            0,
+        ),
+        (
+            "input-error-unknown-engine",
+            lambda d, t: ["serve", d, "--engine", "NoSuchEngine"],
+            2,
+        ),
+        (
+            "input-error-missing-data",
+            lambda d, t: ["loadtest", str(t / "missing.nt"), "--smoke"],
+            2,
+        ),
+        (
+            "input-error-bad-fault-spec",
+            lambda d, t: [
+                "query", d, CLEAN_QUERY, "--faults", "explode:p=1",
+            ],
+            2,
+        ),
+        (
+            "input-error-missing-query-file",
+            lambda d, t: ["lint", str(t / "missing.rq"), "--data", d],
+            2,
+        ),
+        (
+            "input-error-bad-stats-file",
+            lambda d, t: ["lint", CLEAN_QUERY, "--stats", str(t / "no.json")],
+            2,
+        ),
+        (
+            "fault-exhaustion",
+            lambda d, t: [
+                "query", d, "SELECT ?s WHERE { ?s ?p ?o }",
+                "--faults", "fail:p=1", "--max-task-attempts", "2",
+            ],
+            3,
+        ),
+        (
+            "lint-warnings",
+            lambda d, t: ["lint", STAR_QUERY, "--data", d] + WARNING_ARGS,
+            4,
+        ),
+        (
+            "lint-errors",
+            lambda d, t: ["lint", CARTESIAN_QUERY, "--data", d],
+            5,
+        ),
+        (
+            "lint-errors-dominate-warnings",
+            lambda d, t: ["lint", CARTESIAN_QUERY, "--data", d]
+            + WARNING_ARGS,
+            5,
+        ),
+        (
+            "lint-parse-error",
+            lambda d, t: ["lint", "SELECT ?s WHERE { ?s ?p"],
+            5,
+        ),
+    ]
+
+
+CASES = build_cases()
+
+
+@pytest.mark.parametrize(
+    "argv_builder,expected",
+    [(builder, code) for _, builder, code in CASES],
+    ids=[case_id for case_id, _, _ in CASES],
+)
+def test_exit_code(argv_builder, expected, data_file, tmp_path, capsys):
+    code = main(argv_builder(data_file, tmp_path))
+    capsys.readouterr()
+    assert code == expected
+
+
+class TestLintOutput:
+    def test_json_flag_emits_deterministic_report(
+        self, data_file, capsys
+    ):
+        assert main(["lint", CARTESIAN_QUERY, "--data", data_file, "--json"]) == 5
+        first = capsys.readouterr().out
+        assert main(["lint", CARTESIAN_QUERY, "--data", data_file, "--json"]) == 5
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["summary"]["errors"] >= 1
+        assert payload["diagnostics"][0]["code"] == "QL001"
+
+    def test_multiple_files_merge(self, data_file, tmp_path, capsys):
+        good = tmp_path / "good.rq"
+        good.write_text(CLEAN_QUERY)
+        bad = tmp_path / "bad.rq"
+        bad.write_text(CARTESIAN_QUERY)
+        code = main(["lint", str(good), str(bad), "--data", data_file])
+        out = capsys.readouterr().out
+        assert code == 5
+        assert "bad.rq" in out
+        assert "QL001" in out
+
+    def test_stats_file_equivalent_to_data(
+        self, data_file, tmp_path, capsys
+    ):
+        stats = tmp_path / "catalog.json"
+        assert main(["stats", data_file, "--json", str(stats)]) == 0
+        capsys.readouterr()
+        assert main(["lint", CARTESIAN_QUERY, "--stats", str(stats)]) == 5
+        from_stats = capsys.readouterr().out
+        assert main(["lint", CARTESIAN_QUERY, "--data", data_file]) == 5
+        from_data = capsys.readouterr().out
+        assert from_stats == from_data
+
+    def test_data_and_stats_mutually_exclusive(
+        self, data_file, tmp_path, capsys
+    ):
+        code = main(
+            ["lint", CLEAN_QUERY, "--data", data_file, "--stats", "x.json"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -111,6 +111,8 @@ class TestServe:
     def test_deadline_and_malformed_lines_keep_loop_alive(
         self, data_file, tmp_path, capsys
     ):
+        # --no-lint: QL005 would reject the doomed scan at admission,
+        # and this test exercises the *runtime* deadline abort path.
         requests_path = tmp_path / "requests.jsonl"
         requests_path.write_text(
             json.dumps(
@@ -125,7 +127,12 @@ class TestServe:
             + json.dumps({"op": "query", "id": "ok", "query": MEMBER_QUERY})
             + "\n"
         )
-        assert main(["serve", data_file, "--input", str(requests_path)]) == 0
+        assert (
+            main(
+                ["serve", data_file, "--no-lint", "--input", str(requests_path)]
+            )
+            == 0
+        )
         doomed, junk, ok = [
             json.loads(line)
             for line in capsys.readouterr().out.strip().splitlines()
@@ -208,7 +215,7 @@ class TestLoadtest:
         assert (
             main(
                 [
-                    "loadtest", data_file,
+                    "loadtest", data_file, "--no-lint",
                     "--clients", "4", "--requests", "3", "--queries", "4",
                     "--deadline", "30", "--think", "10",
                     "--report", str(report),
