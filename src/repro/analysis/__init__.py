@@ -1,4 +1,4 @@
-"""Static analysis for the reproduction: two analyzers, one framework.
+"""Static analysis for the reproduction: three analyzers, one framework.
 
 The paper's assessment dimensions -- query shapes, join strategies,
 partition locality -- are all statically decidable properties of a query
@@ -14,8 +14,12 @@ before it touches the cluster.  This package decides them:
   itself and flags violations of the repo's byte-determinism contract
   (unsorted JSON, set-order iteration, unseeded randomness, wall clocks,
   mutable defaults).  Runs as a CI gate.
+* :mod:`repro.analysis.docsync` checks README.md and ``docs/`` against
+  the CLI's argparse tree and the filesystem: a generated CLI reference
+  block, flag mentions, the exit-code table, relative links, and the
+  docs index.  Also a CI gate; ``--fix`` regenerates the README block.
 
-Both are built on :mod:`repro.analysis.core`: a rule registry emitting
+All are built on :mod:`repro.analysis.core`: a rule registry emitting
 :class:`~repro.analysis.core.Diagnostic` records into an
 :class:`~repro.analysis.core.AnalysisReport` whose JSON and text
 renderings are byte-deterministic.  Rule catalog: ``docs/ANALYSIS.md``.

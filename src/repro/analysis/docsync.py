@@ -1,0 +1,448 @@
+"""Front 3: the documentation drift checker (rules ``DS001`` .. ``DS005``).
+
+Documentation rots in one direction: the code moves, the prose stays.
+This module makes the README and ``docs/`` a *checked artifact* the same
+way traces and BENCH reports are -- drift is a CI failure, not a review
+nit::
+
+    PYTHONPATH=src python -m repro.analysis.docsync .
+
+The anchor is a **generated CLI reference**: a markdown block rendered
+from ``repro.cli.build_parser()``'s argparse tree (every subcommand,
+positional, flag, and help string) and embedded in ``README.md`` between
+HTML-comment markers.  Because the block is a pure function of the
+parser, "every flag is documented" stops being a promise and becomes an
+equality check; ``--fix`` rewrites the block in place after a CLI change.
+
+Rules (catalog in ``docs/ANALYSIS.md``):
+
+``DS001`` (error)
+    The generated CLI reference block in ``README.md`` is missing or
+    stale against ``repro.cli.build_parser()``.
+``DS002`` (error)
+    A ``--flag`` mentioned in the README or ``docs/`` that no repro
+    subcommand defines (and that is not a known external tool's flag) --
+    the stale half of a rename, or a typo.
+``DS003`` (error)
+    The README's exit-code table disagrees with the canonical code set
+    (0, 1, 2, 3, and the analyzer codes from
+    :mod:`repro.analysis.core`): a code missing or an unknown one
+    documented.
+``DS004`` (error)
+    A relative markdown link whose target file does not exist.
+``DS005`` (warning)
+    A ``docs/*.md`` file the README never mentions -- unreachable
+    documentation.
+
+Determinism: same contract as the other analyzers -- diagnostics sort,
+JSON sorts keys, two runs over the same tree are byte-identical.  The
+README block itself is deterministic because argparse registration order
+is source order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import (
+    AnalysisReport,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    RuleSet,
+)
+
+DOCSYNC_RULES = RuleSet("docsync")
+
+#: Markers bracketing the generated block in README.md.  Everything
+#: between them (inclusive) is owned by this module; hand edits there
+#: are overwritten by ``--fix`` and flagged by DS001 until then.
+CLI_REFERENCE_BEGIN = "<!-- BEGIN GENERATED CLI REFERENCE (repro.analysis.docsync) -->"
+CLI_REFERENCE_END = "<!-- END GENERATED CLI REFERENCE -->"
+
+#: The canonical CLI exit codes the README table must match: runtime
+#: codes 0-3 plus the shared analyzer codes (see ``repro.cli.main`` and
+#: ``tests/test_cli_exit_codes.py``, which pins the behavior itself).
+CANONICAL_EXIT_CODES = (0, 1, 2, 3, EXIT_WARNINGS, EXIT_ERRORS)
+
+#: ``--flag`` tokens that legitimately appear in prose but belong to
+#: programs other than the ``repro`` CLI: pytest-benchmark's selector,
+#: the ``--output`` flag of the ``benchmarks/bench_*.py`` artifact
+#: scripts, and this module's own ``--fix``
+#: (``python -m repro.analysis.docsync``).
+EXTERNAL_FLAGS = frozenset(("--benchmark-only", "--fix", "--output"))
+
+#: A flag mention in prose: ``--views``, ``--view-threshold``, ... but
+#: not table rules (``---``) or mid-word dashes.
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+#: An inline markdown link or image: ``[text](target)`` with an optional
+#: title; the target is group 1.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link targets that are not relative file paths.
+_EXTERNAL_LINK = ("http://", "https://", "mailto:", "#")
+
+
+# ---------------------------------------------------------------------------
+# Rendering the CLI reference from the argparse tree
+# ---------------------------------------------------------------------------
+
+
+def _subcommands(parser) -> List[Tuple[str, object, str]]:
+    """(name, subparser, one-line help) per subcommand, in source order."""
+    out: List[Tuple[str, object, str]] = []
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            helps = {
+                choice.dest: choice.help or ""
+                for choice in action._choices_actions
+            }
+            for name, sub in action.choices.items():
+                out.append((name, sub, helps.get(name, "")))
+    return out
+
+
+def _metavar(action) -> str:
+    """The value placeholder shown for one argparse action."""
+    if action.metavar:
+        name = action.metavar
+    elif action.choices is not None:
+        name = "{%s}" % ",".join(str(choice) for choice in action.choices)
+    else:
+        name = action.dest.upper()
+    if action.nargs in ("+", "*"):
+        name += "..."
+    return name
+
+
+def _invocation(action) -> str:
+    """How one action is spelled on the command line."""
+    if not action.option_strings:
+        return _metavar(action)
+    head = ", ".join(action.option_strings)
+    if action.nargs == 0:  # store_true and friends take no value
+        return head
+    return "%s %s" % (head, _metavar(action))
+
+
+def _cell(text: str) -> str:
+    """Escape a help string for a markdown table cell."""
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def render_cli_reference() -> str:
+    """The generated block, markers included -- a pure function of the
+    parser, hence byte-identical across runs."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    lines = [
+        CLI_REFERENCE_BEGIN,
+        "",
+        "_Generated from `repro.cli.build_parser()` by"
+        " `python -m repro.analysis.docsync --fix .`;"
+        " CI fails when this block is stale (rule DS001)._",
+        "",
+    ]
+    for name, sub, help_text in _subcommands(parser):
+        positionals = [
+            _invocation(action)
+            for action in sub._actions
+            if not action.option_strings
+        ]
+        lines.append("#### `%s`" % " ".join(["repro", name] + positionals))
+        lines.append("")
+        if help_text:
+            lines.append(help_text)
+            lines.append("")
+        flags = [
+            action
+            for action in sub._actions
+            if action.option_strings
+            and "--help" not in action.option_strings
+        ]
+        if flags:
+            lines.append("| flag | description |")
+            lines.append("| --- | --- |")
+            for action in flags:
+                lines.append(
+                    "| `%s` | %s |"
+                    % (_invocation(action), _cell(action.help or ""))
+                )
+            lines.append("")
+    lines.append(CLI_REFERENCE_END)
+    return "\n".join(lines)
+
+
+def cli_flags() -> frozenset:
+    """Every option string any repro subcommand (or the root) defines."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    flags = []
+    for _, sub, _ in _subcommands(parser):
+        for action in sub._actions:
+            flags.extend(action.option_strings)
+    for action in parser._actions:
+        flags.extend(action.option_strings)
+    return frozenset(flags)
+
+
+def extract_block(text: str) -> Optional[Tuple[int, str]]:
+    """(1-based line of the BEGIN marker, inclusive block text), or None."""
+    lines = text.split("\n")
+    begin = end = -1
+    for index, line in enumerate(lines):
+        if line.strip() == CLI_REFERENCE_BEGIN and begin < 0:
+            begin = index
+        elif line.strip() == CLI_REFERENCE_END and begin >= 0:
+            end = index
+            break
+    if begin < 0 or end < 0:
+        return None
+    return begin + 1, "\n".join(lines[begin : end + 1])
+
+
+# ---------------------------------------------------------------------------
+# The analysis context and rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DocsContext:
+    """One repository's documentation under analysis.
+
+    *pages* holds (root-relative path, text) for README.md and every
+    ``docs/*.md``, README first then docs sorted by name.
+    """
+
+    root: str
+    pages: List[Tuple[str, str]]
+    known_flags: frozenset
+    reference: str
+
+    @classmethod
+    def from_root(cls, root: str) -> "DocsContext":
+        readme = os.path.join(root, "README.md")
+        if not os.path.isfile(readme):
+            raise FileNotFoundError("no README.md under %s" % root)
+        pages = [("README.md", _read(readme))]
+        docs_dir = os.path.join(root, "docs")
+        if os.path.isdir(docs_dir):
+            for name in sorted(os.listdir(docs_dir)):
+                if name.endswith(".md"):
+                    pages.append(
+                        ("docs/" + name, _read(os.path.join(docs_dir, name)))
+                    )
+        return cls(
+            root=root,
+            pages=pages,
+            known_flags=cli_flags(),
+            reference=render_cli_reference(),
+        )
+
+    @property
+    def readme(self) -> str:
+        return self.pages[0][1]
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+@DOCSYNC_RULES.rule("DS001", "error", "generated CLI reference drift")
+def _check_cli_reference(context: DocsContext, found):
+    block = extract_block(context.readme)
+    if block is None:
+        yield found(
+            "README.md has no generated CLI reference block (markers %r / %r);"
+            " run `python -m repro.analysis.docsync --fix .`"
+            % (CLI_REFERENCE_BEGIN, CLI_REFERENCE_END),
+            "README.md",
+        )
+        return
+    line, text = block
+    if text != context.reference:
+        yield found(
+            "the generated CLI reference is stale against"
+            " repro.cli.build_parser();"
+            " run `python -m repro.analysis.docsync --fix .`",
+            "README.md",
+            line,
+            1,
+        )
+
+
+@DOCSYNC_RULES.rule("DS002", "error", "documented flag unknown to the CLI")
+def _check_flag_mentions(context: DocsContext, found):
+    for path, text in context.pages:
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            seen = []
+            for match in _FLAG_RE.finditer(line):
+                flag = match.group(0)
+                if flag in seen:
+                    continue
+                seen.append(flag)
+                if (
+                    flag not in context.known_flags
+                    and flag not in EXTERNAL_FLAGS
+                ):
+                    yield found(
+                        "flag %s is documented but no repro subcommand"
+                        " defines it" % flag,
+                        path,
+                        lineno,
+                        match.start() + 1,
+                    )
+
+
+def _exit_code_rows(readme: str) -> Dict[int, int]:
+    """code -> 1-based line for every README exit-code table row."""
+    rows: Dict[int, int] = {}
+    row_re = re.compile(r"^\|\s*`?(\d+)`?\s*\|")
+    for lineno, line in enumerate(readme.split("\n"), start=1):
+        match = row_re.match(line)
+        if match:
+            rows.setdefault(int(match.group(1)), lineno)
+    return rows
+
+
+@DOCSYNC_RULES.rule("DS003", "error", "exit-code table drift")
+def _check_exit_codes(context: DocsContext, found):
+    documented = _exit_code_rows(context.readme)
+    for code in CANONICAL_EXIT_CODES:
+        if code not in documented:
+            yield found(
+                "exit code %d is not documented in README.md's"
+                " exit-code table" % code,
+                "README.md",
+            )
+    for code in sorted(documented):
+        if code not in CANONICAL_EXIT_CODES:
+            yield found(
+                "README.md documents exit code %d, which no subcommand"
+                " returns" % code,
+                "README.md",
+                documented[code],
+            )
+
+
+@DOCSYNC_RULES.rule("DS004", "error", "broken relative link")
+def _check_links(context: DocsContext, found):
+    for path, text in context.pages:
+        base = os.path.dirname(os.path.join(context.root, path))
+        for lineno, line in enumerate(text.split("\n"), start=1):
+            for match in _LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL_LINK):
+                    continue
+                target = target.split("#")[0]
+                if not target:
+                    continue
+                if not os.path.exists(os.path.join(base, target)):
+                    yield found(
+                        "relative link target %s does not exist" % target,
+                        path,
+                        lineno,
+                        match.start() + 1,
+                    )
+
+
+@DOCSYNC_RULES.rule("DS005", "warning", "docs page unreachable from README")
+def _check_docs_index(context: DocsContext, found):
+    for path, _ in context.pages[1:]:
+        if path not in context.readme:
+            yield found(
+                "%s is never mentioned in README.md; add it to the"
+                " documentation index" % path,
+                path,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def check_root(root: str) -> AnalysisReport:
+    """Run every docsync rule over one repository root."""
+    context = DocsContext.from_root(root)
+    report = AnalysisReport(analyzer=DOCSYNC_RULES.analyzer, subject=root)
+    report.extend(DOCSYNC_RULES.run(context))
+    return report
+
+
+def fix_readme(root: str) -> bool:
+    """Rewrite README.md's generated block in place.
+
+    Returns True when the file changed.  Raises ``FileNotFoundError``
+    when README.md or its markers are missing (the markers say *where*
+    the block lives, which only a human can decide).
+    """
+    path = os.path.join(root, "README.md")
+    text = _read(path)
+    block = extract_block(text)
+    if block is None:
+        raise FileNotFoundError(
+            "README.md has no %r / %r markers to rewrite between"
+            % (CLI_REFERENCE_BEGIN, CLI_REFERENCE_END)
+        )
+    _, old = block
+    new = render_cli_reference()
+    if old == new:
+        return False
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.replace(old, new))
+    return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.docsync",
+        description="flag documentation drift against the CLI and the "
+        "filesystem (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="repository root holding README.md and docs/ (default: .)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the deterministic JSON report instead of text",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite README.md's generated CLI reference block, then check",
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.fix:
+            changed = fix_readme(args.root)
+            print(
+                "README.md CLI reference %s"
+                % ("rewritten" if changed else "already in sync"),
+                file=sys.stderr,
+            )
+        report = check_root(args.root)
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

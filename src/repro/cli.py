@@ -36,12 +36,20 @@ Commands
     projections, unsatisfiable filters, and -- when statistics are
     supplied via ``--data`` or ``--stats`` -- unknown predicates,
     cost-over-deadline, and broadcast-threshold misuse.
+``views DATA {build,list,stats} [--view-threshold F] [--json FILE]``
+    Materialize the ExtVP view catalog for an RDF file (S2RDF semi-join
+    reduction tables, selected by selectivity threshold): print its
+    headline numbers (``build``/``stats``), the per-view table
+    (``list``), and optionally write the deterministic catalog JSON.
+    See docs/VIEWS.md.
 
 ``query``, ``explain``, ``serve`` and ``loadtest`` accept ``--optimize``
 (plus ``--optimizer-mode`` and ``--broadcast-threshold``) to run BGPs
 through the shared cost-based optimizer instead of each engine's native
-join order.  ``serve`` and ``loadtest`` run the same static linter at
-admission (disable with ``--no-lint``).
+join order, and ``--views`` (plus ``--view-threshold``) on top to
+substitute materialized ExtVP views into the plans.  ``serve`` and
+``loadtest`` run the same static linter at admission (disable with
+``--no-lint``).
 
 Exit codes (the full table lives in README.md): 0 success / clean lint;
 1 failed ``assess``/``claims`` checks; 2 unusable inputs (bad
@@ -180,8 +188,15 @@ def _write_query_trace(path, engine_name, cost, spans) -> None:
     write_trace_file(path, [run_record(engine_name, "query", cost, spans)])
 
 
+def _check_views_flags(args) -> None:
+    """--views is an optimizer substitution; reject it without --optimize."""
+    if getattr(args, "views", False) and not getattr(args, "optimize", False):
+        raise RuntimeConfigError("--views requires --optimize")
+
+
 def _build_optimizer(args, graph):
     """The shared cost-based optimizer, or None when --optimize is off."""
+    _check_views_flags(args)
     if not getattr(args, "optimize", False):
         return None
     from repro.optimizer import Optimizer
@@ -190,12 +205,15 @@ def _build_optimizer(args, graph):
         graph,
         mode=args.optimizer_mode,
         broadcast_threshold=args.broadcast_threshold,
+        views=args.views,
+        view_threshold=args.view_threshold,
     )
 
 
 def cmd_explain(args) -> int:
     from repro.explain import DEFAULT_EXPLAIN_ENGINES, explain
 
+    _check_views_flags(args)
     graph = load_graph(args.data)
     query_text = _read_query_arg(args.query)
     engines = [
@@ -211,6 +229,8 @@ def cmd_explain(args) -> int:
             optimize=args.optimize,
             optimizer_mode=args.optimizer_mode,
             broadcast_threshold=args.broadcast_threshold,
+            views=args.views,
+            view_threshold=args.view_threshold,
         )
     )
     return 0
@@ -351,6 +371,7 @@ def _build_service(args):
     """Construct the QueryService every serving subcommand shares."""
     from repro.server import QueryService
 
+    _check_views_flags(args)
     graph = load_graph(args.data)
     return QueryService(
         graph,
@@ -368,6 +389,8 @@ def _build_service(args):
         optimizer_mode=args.optimizer_mode,
         broadcast_threshold=args.broadcast_threshold,
         lint_admission=not args.no_lint,
+        enable_views=args.views,
+        view_threshold=args.view_threshold,
     )
 
 
@@ -455,6 +478,44 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_views(args) -> int:
+    from repro.stats import StatsCatalog
+    from repro.views import DEFAULT_VIEW_THRESHOLD, ViewCatalog
+
+    graph = load_graph(args.data)
+    threshold = (
+        DEFAULT_VIEW_THRESHOLD
+        if args.view_threshold is None
+        else args.view_threshold
+    )
+    catalog = ViewCatalog.build(
+        graph, StatsCatalog.from_graph(graph), threshold=threshold
+    )
+    if args.action == "list":
+        shown = catalog.sorted_views()[: args.limit]
+        print(
+            format_table(
+                ["view", "kind", "rows", "factor"],
+                [
+                    [view.name, view.kind, len(view), round(view.factor, 6)]
+                    for view in shown
+                ],
+            )
+        )
+        remaining = len(catalog) - len(shown)
+        if remaining > 0:
+            print("... and %d more view(s) (raise --limit)" % remaining)
+    else:  # build | stats -- the headline numbers
+        summary = catalog.summary()
+        rows = [[name, summary[name]] for name in sorted(summary)]
+        print(format_table(["statistic", "value"], rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(catalog.to_json())
+        print("view catalog written to %s" % args.json)
+    return 0
+
+
 def _add_optimizer_arguments(parser: argparse.ArgumentParser) -> None:
     """Cost-based-optimizer knobs shared by every executing subcommand."""
     from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, ORDER_MODES
@@ -478,6 +539,27 @@ def _add_optimizer_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="ROWS",
         help="broadcast a join's build side when its estimated size is "
         "under ROWS (default %d)" % DEFAULT_BROADCAST_THRESHOLD,
+    )
+    parser.add_argument(
+        "--views",
+        action="store_true",
+        help="materialize ExtVP views and substitute them into plans "
+        "when they strictly dominate a base scan (requires --optimize; "
+        "see docs/VIEWS.md)",
+    )
+    _add_view_threshold_argument(parser)
+
+
+def _add_view_threshold_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.views import DEFAULT_VIEW_THRESHOLD
+
+    parser.add_argument(
+        "--view-threshold",
+        type=_selectivity_factor,
+        default=None,
+        metavar="FACTOR",
+        help="materialize an ExtVP pair when its selectivity factor is "
+        "at most FACTOR in [0, 1] (default %s)" % DEFAULT_VIEW_THRESHOLD,
     )
 
 
@@ -576,6 +658,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="FILE",
         help="write the deterministic catalog JSON to FILE",
+    )
+
+    views = sub.add_parser(
+        "views",
+        help="materialize the ExtVP view catalog for a data file "
+        "(see docs/VIEWS.md)",
+    )
+    views.add_argument("data", help="RDF file (.nt or .ttl)")
+    views.add_argument(
+        "action",
+        choices=["build", "list", "stats"],
+        help="build/stats print the catalog's headline numbers, "
+        "list the per-view table",
+    )
+    _add_view_threshold_argument(views)
+    views.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="views shown by the list action (default 20)",
+    )
+    views.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the deterministic view-catalog JSON to FILE",
     )
 
     lint = sub.add_parser(
@@ -696,6 +804,16 @@ def _positive_units(value: str) -> int:
     return units
 
 
+def _selectivity_factor(value: str) -> float:
+    """argparse type: a selectivity factor in [0, 1]."""
+    factor = float(value)
+    if not 0.0 <= factor <= 1.0:
+        raise argparse.ArgumentTypeError(
+            "must be a selectivity factor between 0 and 1"
+        )
+    return factor
+
+
 def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     """Service knobs shared by ``serve`` and ``loadtest``."""
     parser.add_argument(
@@ -750,6 +868,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "loadtest": cmd_loadtest,
         "stats": cmd_stats,
         "lint": cmd_lint,
+        "views": cmd_views,
     }
     try:
         return handlers[args.command](args)

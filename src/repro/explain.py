@@ -169,12 +169,22 @@ def explain(
     optimize: bool = False,
     optimizer_mode: str = "dp",
     broadcast_threshold: Optional[int] = None,
+    views: bool = False,
+    view_threshold: Optional[float] = None,
 ) -> str:
     """Side-by-side per-operator cost trees for *query* on *engines*.
 
     With ``optimize=True`` one statistics catalog is computed for *graph*
     and every engine runs the shared cost-based plan, so the sections
-    compare engines under identical join orders and strategies.
+    compare engines under identical join orders and strategies.  With
+    ``views=True`` on top, materialized ExtVP views are built at
+    *view_threshold* and a ``views:`` preamble block reports which views
+    the plan substitutes and why.
+
+    Preamble blocks (lint findings, view substitutions) render above the
+    per-engine sections in **sorted key order** -- the order is a stable
+    function of which blocks are non-empty, never of feature flags or
+    evaluation order (pinned by ``tests/test_explain.py``).
     """
     if isinstance(query, str):
         query = parse_sparql(query)
@@ -190,13 +200,18 @@ def explain(
                 if broadcast_threshold is None
                 else broadcast_threshold
             ),
+            views=views,
+            view_threshold=view_threshold,
         )
-    sections: List[str] = []
-    lint_block = _lint_section(
-        query, graph, optimizer, optimizer_mode, broadcast_threshold
-    )
-    if lint_block:
-        sections.append(lint_block)
+    preamble: Dict[str, str] = {
+        "lint": _lint_section(
+            query, graph, optimizer, optimizer_mode, broadcast_threshold
+        ),
+        "views": _views_section(query, optimizer),
+    }
+    sections: List[str] = [
+        preamble[key] for key in sorted(preamble) if preamble[key]
+    ]
     for engine in engines:
         cls = engine_class(engine) if isinstance(engine, str) else engine
         sections.append(
@@ -250,6 +265,51 @@ def _lint_section(
         "  " + diagnostic.render()
         for diagnostic in report.sorted_diagnostics()
     )
+    return "\n".join(lines)
+
+
+def _views_section(query: Query, optimizer) -> str:
+    """The materialized-view preamble of an EXPLAIN, empty without views.
+
+    Shows what the shared plan substitutes *before* any engine runs: for
+    every substituted pattern, the chosen view, its exact row count
+    against the base partition it dominates, its build-time selectivity
+    factor, and the partner pattern whose predicate justifies the
+    semi-join reduction.  Like lint findings, this is a property of the
+    query plan, not of any engine, so it renders once.
+    """
+    if optimizer is None or getattr(optimizer, "view_catalog", None) is None:
+        return ""
+    catalog = optimizer.view_catalog
+    lines = [
+        "views: %d materialized, %d rows (threshold=%s, version=%d)"
+        % (
+            len(catalog),
+            catalog.total_rows(),
+            catalog.threshold,
+            catalog.version,
+        )
+    ]
+    plan = optimizer.plan_bgp(query.where.triple_patterns())
+    chosen = [step for step in plan.steps if step.view is not None]
+    if not chosen:
+        lines.append(
+            "  no substitution: no view strictly dominates a base scan"
+        )
+    for step in chosen:
+        choice = step.view
+        lines.append(
+            "  pattern %d <- %s: %d rows vs %d base (factor=%s),"
+            " justified by pattern %d"
+            % (
+                step.index,
+                choice.name,
+                choice.rows,
+                choice.base_rows,
+                round(choice.factor, 6),
+                choice.partner,
+            )
+        )
     return "\n".join(lines)
 
 

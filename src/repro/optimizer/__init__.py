@@ -33,6 +33,7 @@ from repro.optimizer.planner import (
     JoinPlanner,
     JoinStep,
     ORDER_MODES,
+    ViewChoice,
 )
 from repro.rdf.graph import RDFGraph
 from repro.sparql.ast import TriplePattern
@@ -48,22 +49,56 @@ class Optimizer:
         mode: str = "dp",
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
         enable_broadcast: bool = True,
+        view_catalog=None,
     ) -> None:
         self.catalog = catalog
         self.estimator = CardinalityEstimator(catalog)
+        self.view_catalog = view_catalog
         self.planner = JoinPlanner(
             self.estimator,
             mode=mode,
             broadcast_threshold=broadcast_threshold,
             enable_broadcast=enable_broadcast,
+            view_catalog=view_catalog,
         )
 
     @classmethod
     def for_graph(
-        cls, graph: RDFGraph, version: int = 0, **kwargs
+        cls,
+        graph: RDFGraph,
+        version: int = 0,
+        views: bool = False,
+        view_threshold: Optional[float] = None,
+        **kwargs,
     ) -> "Optimizer":
-        """Build the catalog from *graph* and wrap it in an optimizer."""
-        return cls(StatsCatalog.from_graph(graph, version=version), **kwargs)
+        """Build the catalog from *graph* and wrap it in an optimizer.
+
+        With ``views=True`` a :class:`~repro.views.ViewCatalog` is built
+        from the same statistics (at *view_threshold*, defaulting to
+        :data:`~repro.views.DEFAULT_VIEW_THRESHOLD`) and attached, so
+        plans substitute materialized ExtVP views for dominated scans.
+        """
+        catalog = StatsCatalog.from_graph(graph, version=version)
+        view_catalog = None
+        if views:
+            from repro.views import DEFAULT_VIEW_THRESHOLD, ViewCatalog
+
+            view_catalog = ViewCatalog.build(
+                graph,
+                catalog,
+                threshold=(
+                    DEFAULT_VIEW_THRESHOLD
+                    if view_threshold is None
+                    else view_threshold
+                ),
+                version=version,
+            )
+        return cls(catalog, view_catalog=view_catalog, **kwargs)
+
+    def set_view_catalog(self, view_catalog) -> None:
+        """Attach (or detach, with None) a materialized-view catalog."""
+        self.view_catalog = view_catalog
+        self.planner.view_catalog = view_catalog
 
     @property
     def mode(self) -> str:
@@ -91,7 +126,7 @@ class Optimizer:
                     span.attrs.update(plan.describe())
         else:
             plan = self.plan_bgp(patterns)
-        return execute_plan(engine, plan)
+        return execute_plan(engine, plan, view_catalog=self.view_catalog)
 
     def __repr__(self) -> str:
         return "Optimizer(mode=%s, stats_version=%d, threshold=%d)" % (
@@ -109,6 +144,7 @@ __all__ = [
     "JoinStep",
     "ORDER_MODES",
     "Optimizer",
+    "ViewChoice",
     "collect_q_errors",
     "execute_plan",
     "q_error",

@@ -33,6 +33,7 @@ from repro.spark.partitioner import HashPartitioner
 from repro.spark.rdd import RDD
 from repro.spark.tracing import Span
 from repro.optimizer.planner import BgpPlan, JoinStep
+from repro.sparql.ast import Variable
 
 Binding = Dict[str, object]
 
@@ -64,21 +65,27 @@ class _State:
         )
 
 
-def execute_plan(engine, plan: BgpPlan) -> RDD:
-    """Run *plan* on *engine*, returning an RDD of bindings."""
+def execute_plan(engine, plan: BgpPlan, view_catalog=None) -> RDD:
+    """Run *plan* on *engine*, returning an RDD of bindings.
+
+    When *view_catalog* is given, steps the planner annotated with a
+    :class:`~repro.optimizer.planner.ViewChoice` read their leaf bindings
+    from the materialized ExtVP view instead of the engine's base
+    representation (a ``view`` span records est/actual rows).
+    """
     ctx = engine.ctx
     tracer = ctx.tracer
     state: Optional[_State] = None
     for step in plan.steps:
         if not tracer.enabled:
-            state = _apply_step(engine, state, step)
+            state = _apply_step(engine, state, step, view_catalog)
             continue
         with tracer.span(
             "bgp_step",
             name=step.strategy,
             **_step_attrs(step),
         ) as span:
-            state = _apply_step(engine, state, step)
+            state = _apply_step(engine, state, step, view_catalog)
             state.rdd.cache()
             rows = state.rdd.count()
             if span is not None:
@@ -94,11 +101,15 @@ def _step_attrs(step: JoinStep) -> Dict[str, object]:
     else:
         attrs["on"] = ",".join(step.shared)
         attrs["est_build"] = round(step.est_build, 2)
+    if step.view is not None:
+        attrs["view"] = step.view.name
     return attrs
 
 
-def _apply_step(engine, state: Optional[_State], step: JoinStep) -> _State:
-    fresh = engine._evaluate_bgp([step.pattern])
+def _apply_step(
+    engine, state: Optional[_State], step: JoinStep, view_catalog=None
+) -> _State:
+    fresh = _leaf_scan(engine, step, view_catalog)
     if state is None:
         return _State(fresh)
     if step.strategy == "cartesian":
@@ -107,6 +118,63 @@ def _apply_step(engine, state: Optional[_State], step: JoinStep) -> _State:
     if step.strategy == "broadcast":
         return _broadcast_join(engine.ctx, state, fresh, step.shared)
     return _partitioned_join(engine.ctx, state, fresh, step.shared)
+
+
+def _leaf_scan(engine, step: JoinStep, view_catalog) -> RDD:
+    """One pattern's bindings: the chosen view, or the engine's base scan."""
+    if step.view is None or view_catalog is None:
+        return engine._evaluate_bgp([step.pattern])
+    view = view_catalog.get(step.view.key)
+    if view is None:  # catalog changed under the plan -- stay correct
+        return engine._evaluate_bgp([step.pattern])
+    return _view_scan(engine, step, view)
+
+
+def _view_scan(engine, step: JoinStep, view) -> RDD:
+    """Bindings of *step*'s pattern read from a materialized view.
+
+    The view stores the (subject, object) rows of ``p1``'s partition that
+    survive the semi-join; bound subject/object slots of the pattern
+    filter rows, variable slots bind them (a repeated variable must match
+    itself, as in the base scan).  Rows arrive sorted by N3 text, so the
+    resulting RDD is deterministic.
+    """
+    pattern = step.pattern
+    bindings: List[Binding] = []
+    for s, o in view.rows():
+        binding: Binding = {}
+        consistent = True
+        for slot, value in (("subject", s), ("object", o)):
+            term = getattr(pattern, slot)
+            if isinstance(term, Variable):
+                if term.name in binding and binding[term.name] != value:
+                    consistent = False
+                    break
+                binding[term.name] = value
+            elif term != value:
+                consistent = False
+                break
+        if consistent:
+            bindings.append(binding)
+    ctx = engine.ctx
+    ctx.metrics.incr("view_scans")
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return ctx.parallelize(bindings)
+    with tracer.span(
+        "view",
+        name=view.name,
+        est_rows=step.view.rows,
+        base_rows=step.view.base_rows,
+        factor=round(view.factor, 6),
+    ) as span:
+        rdd = ctx.parallelize(bindings)
+        # Materialize inside the span so the scan's records land here.
+        rdd.cache()
+        rows = rdd.count()
+        if span is not None:
+            span.attrs["actual_rows"] = rows
+    return rdd
 
 
 def _partitioned_join(

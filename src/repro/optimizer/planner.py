@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.optimizer.cardinality import CardinalityEstimator
-from repro.sparql.ast import TriplePattern
+from repro.sparql.ast import TriplePattern, Variable
 
 #: Default broadcast threshold in estimated build-side rows.  Sized so the
 #: small vertical partitions of the test workloads broadcast while full
@@ -55,11 +55,36 @@ ORDER_MODES = ("dp", "greedy", "parse")
 
 
 @dataclass(frozen=True)
+class ViewChoice:
+    """A materialized ExtVP view substituted for one pattern's base scan.
+
+    Chosen by :meth:`JoinPlanner._choose_view` when the view *strictly
+    dominates* the base scan: its stored row count is below the scanned
+    predicate's full partition size.  ``partner`` is the index of the
+    BGP pattern whose predicate justifies the semi-join reduction.
+    """
+
+    key: Tuple[str, str, str]  # (kind, p1 n3, p2 n3)
+    rows: int  # materialized rows (exact, not estimated)
+    base_rows: int  # the base scan this replaces (p1's partition size)
+    factor: float  # the view's selectivity factor at build time
+    partner: int  # index of the pattern that makes the view applicable
+
+    @property
+    def name(self) -> str:
+        from repro.views.catalog import view_name
+
+        return view_name(self.key)
+
+
+@dataclass(frozen=True)
 class JoinStep:
     """One step of a left-deep BGP plan.
 
     The first step is always the ``scan`` of the first pattern; every
     later step joins the accumulated prefix with one fresh pattern.
+    When *view* is set, the pattern's leaf scan reads the materialized
+    ExtVP view instead of the engine's base representation.
     """
 
     index: int  # position in the original pattern list
@@ -68,6 +93,7 @@ class JoinStep:
     strategy: str  # scan | broadcast | local | shuffle | cartesian
     est_build: float  # estimated rows of this pattern's scan
     est_rows: float  # estimated rows after this step
+    view: Optional[ViewChoice] = None  # substituted materialized view
 
 
 @dataclass
@@ -88,12 +114,21 @@ class BgpPlan:
 
     def describe(self) -> Dict[str, object]:
         """Compact JSON-ready description (the ``optimize`` span attrs)."""
-        return {
+        described = {
             "mode": self.mode,
             "order": ",".join(str(i) for i in self.order),
             "strategies": ",".join(s.strategy for s in self.steps),
             "est_rows": round(self.est_rows, 2),
         }
+        views = ";".join(
+            "%d:%s" % (s.index, s.view.name)
+            for s in self.steps
+            if s.view is not None
+        )
+        if views:  # key absent when no view was substituted, so plans
+            # without a catalog keep their exact pre-views trace bytes.
+            described["views"] = views
+        return described
 
 
 class JoinPlanner:
@@ -105,6 +140,7 @@ class JoinPlanner:
         mode: str = "dp",
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
         enable_broadcast: bool = True,
+        view_catalog=None,
     ) -> None:
         if mode not in ORDER_MODES:
             raise ValueError(
@@ -117,6 +153,7 @@ class JoinPlanner:
         self.mode = mode
         self.broadcast_threshold = broadcast_threshold
         self.enable_broadcast = enable_broadcast
+        self.view_catalog = view_catalog
 
     # ------------------------------------------------------------------
     # Entry point
@@ -229,6 +266,12 @@ class JoinPlanner:
         for position, index in enumerate(order):
             pattern = patterns[index]
             est_build = estimator.pattern_cardinality(pattern)
+            view = self._choose_view(patterns, index)
+            if view is not None:
+                # The view's row count is exact, not estimated: the leaf
+                # scan reads the materialized table instead of the base
+                # partition, so the build side shrinks accordingly.
+                est_build = min(est_build, float(view.rows))
             if position == 0:
                 steps.append(
                     JoinStep(
@@ -238,6 +281,7 @@ class JoinPlanner:
                         strategy="scan",
                         est_build=est_build,
                         est_rows=est_build,
+                        view=view,
                     )
                 )
             else:
@@ -268,8 +312,73 @@ class JoinPlanner:
                         strategy=strategy,
                         est_build=est_build,
                         est_rows=est_rows,
+                        view=view,
                     )
                 )
             prefix.append(pattern)
             bound |= {v.name for v in pattern.variables()}
         return steps
+
+    # ------------------------------------------------------------------
+    # Materialized-view substitution
+    # ------------------------------------------------------------------
+
+    def _choose_view(
+        self, patterns: List[TriplePattern], index: int
+    ) -> Optional[ViewChoice]:
+        """The best materialized view replacing pattern *index*'s scan.
+
+        A view ``extvp_kind(p1,p2)`` applies when the pattern's predicate
+        is bound to ``p1`` and some *other* pattern of the same BGP binds
+        ``p2`` with a shared variable sitting on the columns *kind* names.
+        The view's rows are a superset of the joinable rows (they survive
+        the semi-join against **all** of ``p2``'s triples, of which the
+        partner's matches are a subset), so substituting it never changes
+        results.  Substitution requires *strict dominance*: the view must
+        hold fewer rows than ``p1``'s full partition.  Ties break on
+        (rows, key, partner index) so plans stay deterministic.
+        """
+        catalog = self.view_catalog
+        if catalog is None or len(catalog) == 0:
+            return None
+        pattern = patterns[index]
+        if isinstance(pattern.predicate, Variable):
+            return None
+        p1 = pattern.predicate.n3()
+        stats = self.estimator.catalog.predicate_stats(p1)
+        base_rows = stats.count if stats is not None else 0
+        position_of = CardinalityEstimator._so_position
+        best = None  # ((rows, view key, partner index), view)
+        for partner, other in enumerate(patterns):
+            if partner == index or isinstance(other.predicate, Variable):
+                continue
+            p2 = other.predicate.n3()
+            if p2 == p1:
+                continue
+            shared = {v.name for v in pattern.variables()} & {
+                v.name for v in other.variables()
+            }
+            for name in sorted(shared):
+                mine = position_of(pattern, name)
+                theirs = position_of(other, name)
+                if mine is None or theirs is None:
+                    continue
+                kind = mine + theirs
+                if kind == "oo":
+                    continue  # ExtVP keeps no object-object tables
+                view = catalog.get((kind, p1, p2))
+                if view is None or len(view) >= base_rows:
+                    continue
+                candidate = ((len(view), view.key, partner), view)
+                if best is None or candidate[0] < best[0]:
+                    best = candidate
+        if best is None:
+            return None
+        (_, _, partner), view = best
+        return ViewChoice(
+            key=view.key,
+            rows=len(view),
+            base_rows=base_rows,
+            factor=view.factor,
+            partner=partner,
+        )

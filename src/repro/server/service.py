@@ -141,6 +141,8 @@ class QueryService:
         optimizer_mode: str = "dp",
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
         lint_admission: bool = True,
+        enable_views: bool = False,
+        view_threshold: Optional[float] = None,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
@@ -168,9 +170,18 @@ class QueryService:
         self._optimize = optimize
         self._optimizer_mode = optimizer_mode
         self._broadcast_threshold = broadcast_threshold
+        if enable_views and not optimize:
+            raise ValueError(
+                "enable_views requires optimize=True (views are an "
+                "optimizer substitution)"
+            )
+        self._enable_views = enable_views
+        self._view_threshold = view_threshold
+        #: The last :class:`~repro.views.MaintenanceReport`, for stats().
+        self.last_maintenance = None
         self.optimizer: Optional[Optimizer] = None
         if optimize:
-            self.optimizer = self._build_optimizer()
+            self.optimizer = self._build_optimizer(views=enable_views)
         self.lint_admission = lint_admission
         self._lint_catalog: Optional[StatsCatalog] = None
         if lint_admission:
@@ -180,13 +191,20 @@ class QueryService:
         ]
         self._round_robin = 0
 
-    def _build_optimizer(self) -> Optimizer:
-        """One shared optimizer over statistics at the current head."""
+    def _build_optimizer(self, views: bool = False) -> Optimizer:
+        """One shared optimizer over statistics at the current head.
+
+        With ``views=True`` the materialized-view catalog is built from
+        scratch too; commits instead maintain the existing catalog
+        incrementally and re-attach it (:meth:`_commit`).
+        """
         return Optimizer.for_graph(
             self.versions.head(),
             version=self.versions.head_version,
             mode=self._optimizer_mode,
             broadcast_threshold=self._broadcast_threshold,
+            views=views,
+            view_threshold=self._view_threshold,
         )
 
     def _build_lint_catalog(self) -> StatsCatalog:
@@ -377,7 +395,11 @@ class QueryService:
             return outcome
         finally:
             ctx.set_deadline(None)
-        spent = cost_units(ctx.metrics.snapshot() - before)
+        delta = ctx.metrics.snapshot() - before
+        spent = cost_units(delta)
+        if delta["view_scans"]:
+            # This execution read at least one materialized ExtVP view.
+            self.metrics.incr("view_hits", delta["view_scans"])
         outcome.payload = canonical_json(canonical_result(result, plan))
         outcome.cache = "plan" if plan_hit else "cold"
         outcome.service_units = max(spent, 1)
@@ -436,9 +458,24 @@ class QueryService:
         dropped = self.result_cache.invalidate_below(version, self.metrics)
         head = self.versions.head()
         if self.optimizer is not None:
+            view_catalog = self.optimizer.view_catalog
             # Refresh statistics at the new head; the bumped stats version
             # retires every plan-cache entry keyed under the old catalog.
             self.optimizer = self._build_optimizer()
+            if view_catalog is not None:
+                # Views stay warm across the commit: delta-apply the
+                # change set to the affected views (cost proportional to
+                # the delta) and re-attach, instead of rebuilding.  The
+                # catalog's version now matches the served head, so
+                # version-keyed consumers can assert consistency.
+                report = view_catalog.apply_delta(
+                    self.versions.delta(version), head, version
+                )
+                self.optimizer.set_view_catalog(view_catalog)
+                self.last_maintenance = report
+                self.metrics.incr(
+                    "views_maintained", report.views_affected
+                )
         if self.lint_admission:
             # Lint statistics must track the served head, or admission
             # would reject queries over predicates this commit added.
@@ -456,7 +493,7 @@ class QueryService:
     def stats(self) -> Dict[str, Any]:
         """A JSON-ready snapshot of the service counters."""
         snapshot = self.metrics.snapshot()
-        return {
+        payload = {
             "engine": self.engine_name,
             "pool_size": self.pool_size,
             "version": self.version,
@@ -467,6 +504,17 @@ class QueryService:
             "result_cache_entries": len(self.result_cache),
             "counters": {name: value for name, value in snapshot if value},
         }
+        view_catalog = self.view_catalog
+        if view_catalog is not None:
+            payload["views"] = view_catalog.summary()
+        return payload
+
+    @property
+    def view_catalog(self):
+        """The served materialized-view catalog, or None without views."""
+        if self.optimizer is None:
+            return None
+        return self.optimizer.view_catalog
 
     def snapshot(self) -> MetricsSnapshot:
         return self.metrics.snapshot()

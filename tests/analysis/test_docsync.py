@@ -1,0 +1,223 @@
+"""Front 3: the docs drift checker (rules ``DS001`` .. ``DS005``).
+
+The repo-level test at the bottom is the doc-sync gate promised in the
+README: every flag the CLI defines is documented, and every documented
+flag exists, because the generated CLI reference block is compared
+byte-for-byte against ``repro.cli.build_parser()``.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.core import EXIT_CLEAN, EXIT_ERRORS, EXIT_WARNINGS
+from repro.analysis.docsync import (
+    CLI_REFERENCE_BEGIN,
+    CLI_REFERENCE_END,
+    check_root,
+    cli_flags,
+    extract_block,
+    fix_readme,
+    main,
+    render_cli_reference,
+)
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def codes(report):
+    return sorted({d.code for d in report.diagnostics})
+
+
+def write(root, relpath, text):
+    path = os.path.join(str(root), relpath)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+EXIT_TABLE = "\n".join(
+    "| `%d` | meaning |" % code for code in (0, 1, 2, 3, 4, 5)
+)
+
+
+def minimal_readme():
+    """A README that passes every rule on a docs-less tree."""
+    return "# Repro\n\n%s\n\n%s\n" % (EXIT_TABLE, render_cli_reference())
+
+
+class TestRenderedReference:
+    def test_render_is_deterministic(self):
+        assert render_cli_reference() == render_cli_reference()
+
+    def test_reference_is_marker_delimited(self):
+        text = render_cli_reference()
+        assert text.startswith(CLI_REFERENCE_BEGIN)
+        assert text.rstrip("\n").endswith(CLI_REFERENCE_END)
+
+    def test_reference_covers_every_subcommand_flag(self):
+        text = render_cli_reference()
+        for flag in cli_flags():
+            if flag in ("-h", "--help"):
+                continue
+            assert flag in text, flag
+
+    def test_extract_block_round_trips(self):
+        body = "intro\n%s\nfooter\n" % render_cli_reference()
+        line, block = extract_block(body)
+        assert line == 2
+        assert block == render_cli_reference().rstrip("\n")
+
+    def test_extract_block_missing_markers(self):
+        assert extract_block("# no markers here\n") is None
+
+
+class TestRules:
+    def test_clean_tree(self, tmp_path):
+        write(tmp_path, "README.md", minimal_readme())
+        report = check_root(str(tmp_path))
+        assert codes(report) == []
+        assert report.exit_code() == EXIT_CLEAN
+
+    def test_ds001_missing_block(self, tmp_path):
+        write(tmp_path, "README.md", "# Repro\n\n%s\n" % EXIT_TABLE)
+        assert "DS001" in codes(check_root(str(tmp_path)))
+
+    def test_ds001_stale_block(self, tmp_path):
+        stale = render_cli_reference().replace("repro query", "repro qeury")
+        write(
+            tmp_path, "README.md", "# R\n\n%s\n\n%s\n" % (EXIT_TABLE, stale)
+        )
+        report = check_root(str(tmp_path))
+        assert "DS001" in codes(report)
+        assert report.exit_code() == EXIT_ERRORS
+
+    def test_ds002_unknown_flag(self, tmp_path):
+        write(
+            tmp_path,
+            "README.md",
+            minimal_readme() + "\nUse `--no-such-flag` to frob.\n",
+        )
+        report = check_root(str(tmp_path))
+        assert "DS002" in codes(report)
+        assert any(
+            "--no-such-flag" in d.message for d in report.diagnostics
+        )
+
+    def test_ds002_known_flag_clean(self, tmp_path):
+        write(
+            tmp_path,
+            "README.md",
+            minimal_readme() + "\nPass `--optimize` to plan.\n",
+        )
+        assert "DS002" not in codes(check_root(str(tmp_path)))
+
+    def test_ds003_missing_and_phantom_codes(self, tmp_path):
+        table = "| `0` | ok |\n| `7` | phantom |\n"
+        write(
+            tmp_path,
+            "README.md",
+            "# R\n\n%s\n%s\n" % (table, render_cli_reference()),
+        )
+        report = check_root(str(tmp_path))
+        messages = [d.message for d in report.diagnostics if d.code == "DS003"]
+        assert any("exit code 5 is not documented" in m for m in messages)
+        assert any("exit code 7" in m for m in messages)
+
+    def test_ds004_broken_relative_link(self, tmp_path):
+        write(
+            tmp_path,
+            "README.md",
+            minimal_readme() + "\nSee [gone](docs/GONE.md).\n",
+        )
+        report = check_root(str(tmp_path))
+        assert "DS004" in codes(report)
+
+    def test_ds004_links_resolved_relative_to_page(self, tmp_path):
+        write(tmp_path, "README.md", minimal_readme())
+        # ARCHITECTURE.md links its sibling as OTHER.md, not docs/OTHER.md.
+        write(
+            tmp_path,
+            "docs/ARCHITECTURE.md",
+            "See [other](OTHER.md) and [up](../README.md).\n",
+        )
+        write(tmp_path, "docs/OTHER.md", "docs/ARCHITECTURE.md peer\n")
+        readme = minimal_readme() + "\ndocs/ARCHITECTURE.md docs/OTHER.md\n"
+        write(tmp_path, "README.md", readme)
+        assert "DS004" not in codes(check_root(str(tmp_path)))
+
+    def test_ds004_external_and_anchor_links_ignored(self, tmp_path):
+        write(
+            tmp_path,
+            "README.md",
+            minimal_readme()
+            + "\n[w](https://example.org/x) [a](#section)\n",
+        )
+        assert "DS004" not in codes(check_root(str(tmp_path)))
+
+    def test_ds005_unindexed_docs_page(self, tmp_path):
+        write(tmp_path, "README.md", minimal_readme())
+        write(tmp_path, "docs/ORPHAN.md", "never linked\n")
+        report = check_root(str(tmp_path))
+        assert codes(report) == ["DS005"]
+        assert report.exit_code() == EXIT_WARNINGS
+
+    def test_missing_readme_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            check_root(str(tmp_path))
+
+
+class TestFix:
+    def test_fix_rewrites_stale_block(self, tmp_path):
+        stale = render_cli_reference().replace("repro query", "repro qeury")
+        write(
+            tmp_path, "README.md", "# R\n\n%s\n\n%s\n" % (EXIT_TABLE, stale)
+        )
+        assert fix_readme(str(tmp_path)) is True
+        assert check_root(str(tmp_path)).exit_code() == EXIT_CLEAN
+        # A second pass is a no-op: the block is already canonical.
+        assert fix_readme(str(tmp_path)) is False
+
+    def test_fix_without_markers_raises(self, tmp_path):
+        write(tmp_path, "README.md", "# R\n\n%s\n" % EXIT_TABLE)
+        with pytest.raises(FileNotFoundError):
+            fix_readme(str(tmp_path))
+
+
+class TestCli:
+    def test_clean_tree_exit_zero(self, tmp_path, capsys):
+        write(tmp_path, "README.md", minimal_readme())
+        assert main([str(tmp_path)]) == EXIT_CLEAN
+        assert "docsync" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        write(tmp_path, "README.md", "# R\n\n%s\n" % EXIT_TABLE)
+        code = main([str(tmp_path), "--json"])
+        assert code == EXIT_ERRORS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analyzer"] == "docsync"
+        assert any(d["code"] == "DS001" for d in payload["diagnostics"])
+
+    def test_missing_readme_exit_two(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "README" in capsys.readouterr().err
+
+    def test_fix_flag(self, tmp_path, capsys):
+        stale = render_cli_reference().replace("Usage", "Usgae")
+        write(
+            tmp_path, "README.md", "# R\n\n%s\n\n%s\n" % (EXIT_TABLE, stale)
+        )
+        assert main([str(tmp_path), "--fix"]) == EXIT_CLEAN
+
+
+class TestRepositoryGate:
+    """The committed docs must be drift-free -- this IS the doc-sync test."""
+
+    def test_repo_docs_are_in_sync(self):
+        report = check_root(REPO_ROOT)
+        assert codes(report) == []
+        assert report.exit_code() == EXIT_CLEAN

@@ -220,3 +220,45 @@ class TestEngineExplainPayload:
         run = EngineExplain(engine="X", supported=False, rows=None, error="no")
         payload = run.to_payload()
         assert payload["supported"] is False and payload["spans"] == []
+
+
+class TestPreambleOrder:
+    """Preamble blocks render in sorted key order, never flag order.
+
+    ``explain()``'s docstring promises the order is a stable function of
+    which blocks are non-empty; this pins ``lint`` before ``views`` and
+    both before any ``== ENGINE ==`` section.
+    """
+
+    DIRTY_VIEWED = (
+        "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+        "SELECT ?x ?y WHERE { ?x lubm:advisor ?y ."
+        " ?x lubm:takesCourse ?c . ?x lubm:noSuchPredicate ?z }"
+    )
+
+    def test_lint_sorts_before_views_before_engines(self, lubm_graph):
+        text = explain(
+            lubm_graph,
+            self.DIRTY_VIEWED,
+            [SparqlgxEngine],
+            optimize=True,
+            views=True,
+        )
+        assert "lint:" in text and "views:" in text
+        assert (
+            text.index("lint:")
+            < text.index("views:")
+            < text.index("== SPARQLGX ==")
+        )
+
+    def test_views_only_preamble_precedes_engines(self, lubm_graph):
+        text = explain(
+            lubm_graph, STAR, [SparqlgxEngine], optimize=True, views=True
+        )
+        assert "lint:" not in text
+        assert text.index("views:") < text.index("== SPARQLGX ==")
+
+    def test_clean_unviewed_has_no_preamble(self, lubm_graph):
+        text = explain(lubm_graph, STAR, [SparqlgxEngine], optimize=True)
+        assert "lint:" not in text and "views:" not in text
+        assert text.startswith("== SPARQLGX ==")

@@ -1,0 +1,109 @@
+"""Materialized-view catalog: selection, threshold semantics, determinism."""
+
+import pytest
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import URI
+from repro.rdf.triple import Triple
+from repro.stats.catalog import StatsCatalog
+from repro.views import (
+    DEFAULT_VIEW_THRESHOLD,
+    ViewCatalog,
+    materialize_view,
+    view_name,
+)
+
+EX = "http://x/"
+
+
+def t(s, p, o):
+    return Triple(URI(EX + s), URI(EX + p), URI(EX + o))
+
+
+@pytest.fixture
+def small_graph():
+    # p1's partition has 4 triples; 2 share a subject with p2 => the ss
+    # pair (p1, p2) has selectivity factor exactly 0.5.
+    return RDFGraph(
+        [
+            t("a", "p1", "x"),
+            t("b", "p1", "y"),
+            t("c", "p1", "z"),
+            t("d", "p1", "w"),
+            t("a", "p2", "k"),
+            t("b", "p2", "k"),
+        ]
+    )
+
+
+class TestSelection:
+    def test_selected_keys_match_stats_threshold(self, lubm_graph):
+        stats = StatsCatalog.from_graph(lubm_graph)
+        catalog = ViewCatalog.build(lubm_graph, stats, threshold=0.5)
+        expected = sorted(
+            key
+            for key, factor in stats.pair_selectivity.items()
+            if factor <= 0.5
+        )
+        assert sorted(catalog.views) == expected
+        assert len(catalog) == len(expected) > 0
+
+    def test_threshold_boundary_is_inclusive(self, small_graph):
+        stats = StatsCatalog.from_graph(small_graph)
+        key = ("ss", "<%sp1>" % EX, "<%sp2>" % EX)
+        assert stats.pair_selectivity[key] == 0.5
+        at_boundary = ViewCatalog.build(small_graph, stats, threshold=0.5)
+        assert at_boundary.get(key) is not None, (
+            "factor == threshold must materialize (inclusive boundary)"
+        )
+        below = ViewCatalog.build(small_graph, stats, threshold=0.499999)
+        assert below.get(key) is None
+
+    def test_view_contents_match_oracle(self, lubm_graph):
+        catalog = ViewCatalog.build(lubm_graph, threshold=0.5)
+        for view in catalog.sorted_views()[:25]:
+            oracle = materialize_view(lubm_graph, view.key, view.factor)
+            assert view.rows() == oracle.rows()
+
+    def test_factors_never_exceed_threshold(self, lubm_graph):
+        catalog = ViewCatalog.build(lubm_graph, threshold=0.25)
+        assert len(catalog) > 0
+        for view in catalog.sorted_views():
+            assert view.factor <= 0.25
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ViewCatalog(threshold=1.5)
+        with pytest.raises(ValueError):
+            ViewCatalog(threshold=-0.1)
+
+    def test_build_charges_cost_units(self, small_graph):
+        catalog = ViewCatalog.build(small_graph, threshold=1.0)
+        # Every selected view bills |A| + |B| triples.
+        assert catalog.build_cost_units > 0
+
+
+class TestDeterminism:
+    def test_json_byte_identical_across_builds(self, lubm_graph):
+        first = ViewCatalog.build(lubm_graph, threshold=0.5).to_json()
+        second = ViewCatalog.build(lubm_graph, threshold=0.5).to_json()
+        assert first == second
+
+    def test_rows_sorted_by_n3(self, lubm_graph):
+        catalog = ViewCatalog.build(lubm_graph, threshold=0.5)
+        view = catalog.sorted_views()[0]
+        rows = view.rows()
+        keys = [(s.n3(), o.n3()) for s, o in rows]
+        assert keys == sorted(keys)
+
+    def test_summary_and_name(self, small_graph):
+        catalog = ViewCatalog.build(small_graph, threshold=0.5)
+        summary = catalog.summary()
+        assert summary["views"] == len(catalog)
+        assert summary["threshold"] == 0.5
+        key = ("ss", "<%sp1>" % EX, "<%sp2>" % EX)
+        assert view_name(key) == "extvp_ss(<%sp1>,<%sp2>)" % (EX, EX)
+        assert catalog.get(key).name == view_name(key)
+
+    def test_default_threshold_exported(self):
+        assert 0.0 < DEFAULT_VIEW_THRESHOLD <= 1.0
