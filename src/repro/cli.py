@@ -51,6 +51,12 @@ substitute materialized ExtVP views into the plans.  ``serve`` and
 ``loadtest`` run the same static linter at admission (disable with
 ``--no-lint``).
 
+``query``, ``assess``, ``serve`` and ``loadtest`` accept ``--backend
+{inprocess,parallel}`` and ``--workers N`` to pick the executor backend
+(docs/PARALLEL.md): ``parallel`` runs partition tasks on a forked worker
+pool while keeping every result byte-identical to the in-process
+oracle.
+
 Exit codes (the full table lives in README.md): 0 success / clean lint;
 1 failed ``assess``/``claims`` checks; 2 unusable inputs (bad
 ``--faults`` spec, unknown engine, unreadable data/query/stats file);
@@ -78,11 +84,12 @@ from repro.rdf.ntriples import save_ntriples_file
 from repro.runtime import (
     RuntimeConfigError,
     UnknownEngineError,
+    build_context,
     load_graph,
     resolve_engine,
 )
-from repro.spark.context import SparkContext
 from repro.spark.faults import FaultSpecError, TaskFailedError
+from repro.spark.parallel import BackendConfigError
 from repro.sparql.results import SolutionSet
 from repro.systems import ALL_ENGINE_CLASSES, NaiveEngine
 
@@ -128,11 +135,13 @@ def _read_query_arg(query_arg: str) -> str:
 def cmd_query(args) -> int:
     graph = load_graph(args.data)
     query_text = _read_query_arg(args.query)
-    sc = SparkContext(
-        default_parallelism=args.parallelism,
+    sc = build_context(
+        parallelism=args.parallelism,
         faults=args.faults,
         max_task_attempts=args.max_task_attempts,
         speculation=args.speculation,
+        backend=args.backend,
+        workers=args.workers,
     )
     engine = _engine_class(args.engine)(sc)
     engine.load(graph)
@@ -278,6 +287,8 @@ def cmd_assess(args) -> int:
         faults=args.faults,
         max_task_attempts=args.max_task_attempts,
         speculation=args.speculation,
+        backend=args.backend,
+        workers=args.workers,
     )
     results = bench.run(
         (NaiveEngine,) + ALL_ENGINE_CLASSES, queries, trace=bool(args.trace)
@@ -391,6 +402,8 @@ def _build_service(args):
         lint_admission=not args.no_lint,
         enable_views=args.views,
         view_threshold=args.view_threshold,
+        backend=args.backend,
+        workers=args.workers,
     )
 
 
@@ -563,6 +576,28 @@ def _add_view_threshold_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Executor-backend knobs shared by every executing subcommand."""
+    from repro.spark.parallel import BACKEND_NAMES, DEFAULT_WORKERS
+
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="inprocess",
+        help="executor backend: 'inprocess' runs partition tasks serially "
+        "in the driver (the byte-exact oracle); 'parallel' runs them on a "
+        "forked worker pool (see docs/PARALLEL.md)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes under --backend parallel (default %d; "
+        "ignored by the in-process backend)" % DEFAULT_WORKERS,
+    )
+
+
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     """Fault-injection knobs shared by ``query`` and ``assess``."""
     parser.add_argument(
@@ -614,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_optimizer_arguments(query)
     _add_fault_arguments(query)
+    _add_backend_arguments(query)
 
     explain = sub.add_parser(
         "explain",
@@ -640,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write every run's execution trace (JSON) to FILE",
     )
     _add_fault_arguments(assess)
+    _add_backend_arguments(assess)
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to N-Triples"
@@ -751,6 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(serve)
     _add_optimizer_arguments(serve)
     _add_fault_arguments(serve)
+    _add_backend_arguments(serve)
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -790,6 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(loadtest)
     _add_optimizer_arguments(loadtest)
     _add_fault_arguments(loadtest)
+    _add_backend_arguments(loadtest)
 
     return parser
 
@@ -874,6 +913,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return handlers[args.command](args)
     except FaultSpecError as exc:
         print("error: invalid --faults spec: %s" % exc, file=sys.stderr)
+        return 2
+    except BackendConfigError as exc:
+        print("error: %s" % exc, file=sys.stderr)
         return 2
     except RuntimeConfigError as exc:
         print("error: %s" % exc, file=sys.stderr)

@@ -27,6 +27,7 @@ from repro.rdf.ntriples import load_ntriples_file
 from repro.rdf.turtle import parse_turtle
 from repro.spark.context import SparkContext
 from repro.spark.faults import FaultScheduler
+from repro.spark.parallel import BackendConfigError
 
 
 class RuntimeConfigError(ValueError):
@@ -83,14 +84,27 @@ def build_context(
     faults: Union[None, str, FaultScheduler] = None,
     max_task_attempts: int = 4,
     speculation: bool = False,
+    backend: str = "inprocess",
+    workers: Optional[int] = None,
 ) -> SparkContext:
-    """A SparkContext from the knob set shared by every entry point."""
-    return SparkContext(
-        default_parallelism=parallelism,
-        faults=faults,
-        max_task_attempts=max_task_attempts,
-        speculation=speculation,
-    )
+    """A SparkContext from the knob set shared by every entry point.
+
+    ``backend``/``workers`` select the executor backend (see
+    :mod:`repro.spark.parallel`); bad combinations raise
+    :class:`RuntimeConfigError` so the CLI reports them as configuration
+    errors rather than tracebacks.
+    """
+    try:
+        return SparkContext(
+            default_parallelism=parallelism,
+            faults=faults,
+            max_task_attempts=max_task_attempts,
+            speculation=speculation,
+            backend=backend,
+            workers=workers,
+        )
+    except BackendConfigError as exc:
+        raise RuntimeConfigError(str(exc)) from exc
 
 
 def build_engine(
@@ -101,6 +115,8 @@ def build_engine(
     max_task_attempts: int = 4,
     speculation: bool = False,
     ctx: Optional[SparkContext] = None,
+    backend: str = "inprocess",
+    workers: Optional[int] = None,
 ):
     """Resolve, construct, and warm one engine on *graph*.
 
@@ -116,5 +132,7 @@ def build_engine(
             faults=faults,
             max_task_attempts=max_task_attempts,
             speculation=speculation,
+            backend=backend,
+            workers=workers,
         )
     return cls(ctx).load(graph)

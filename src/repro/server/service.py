@@ -143,6 +143,8 @@ class QueryService:
         lint_admission: bool = True,
         enable_views: bool = False,
         view_threshold: Optional[float] = None,
+        backend: str = "inprocess",
+        workers: Optional[int] = None,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
@@ -167,6 +169,10 @@ class QueryService:
         self._faults = faults
         self._max_task_attempts = max_task_attempts
         self._speculation = speculation
+        #: Executor backend for every pooled engine ("inprocess" or
+        #: "parallel"); canonical payload bytes are identical either way.
+        self.backend = backend
+        self.workers = workers
         self._optimize = optimize
         self._optimizer_mode = optimizer_mode
         self._broadcast_threshold = broadcast_threshold
@@ -228,6 +234,8 @@ class QueryService:
             faults=self._fault_schedule(),
             max_task_attempts=self._max_task_attempts,
             speculation=self._speculation,
+            backend=self.backend,
+            workers=self.workers,
         )
         if self.optimizer is not None:
             engine.set_optimizer(self.optimizer)
