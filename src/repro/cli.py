@@ -42,6 +42,19 @@ Commands
     headline numbers (``build``/``stats``), the per-view table
     (``list``), and optionally write the deterministic catalog JSON.
     See docs/VIEWS.md.
+``route DATA QUERY [--engine NAME ...] [--json]``
+    Show where the adaptive routing policy (:mod:`repro.routing`) would
+    dispatch a query without executing it: its shape, the priced bid of
+    every fragment-eligible candidate engine, and the exclusions.  See
+    docs/ROUTING.md.
+
+``serve`` and ``loadtest`` accept ``--route`` (plus ``--route-engines``)
+to replace the fixed ``--engine`` with the adaptive per-shape ensemble:
+each admitted query is dispatched to the engine the calibrated policy
+prices cheapest, and observed cost units feed the calibration back.
+``explain`` accepts the same pair to prepend the ``routing:`` decision
+block.  ``loadtest --shape-mix`` swaps the uniform workload for the
+shape-stratified one (plus per-tenant shape emphasis).
 
 ``query``, ``explain``, ``serve`` and ``loadtest`` accept ``--optimize``
 (plus ``--optimizer-mode`` and ``--broadcast-threshold``) to run BGPs
@@ -203,6 +216,14 @@ def _check_views_flags(args) -> None:
         raise RuntimeConfigError("--views requires --optimize")
 
 
+def _check_route_flags(args) -> None:
+    """--route-engines narrows the routed pool; reject it without --route."""
+    if getattr(args, "route_engines", None) and not getattr(
+        args, "route", False
+    ):
+        raise RuntimeConfigError("--route-engines requires --route")
+
+
 def _build_optimizer(args, graph):
     """The shared cost-based optimizer, or None when --optimize is off."""
     _check_views_flags(args)
@@ -223,6 +244,7 @@ def cmd_explain(args) -> int:
     from repro.explain import DEFAULT_EXPLAIN_ENGINES, explain
 
     _check_views_flags(args)
+    _check_route_flags(args)
     graph = load_graph(args.data)
     query_text = _read_query_arg(args.query)
     engines = [
@@ -240,8 +262,31 @@ def cmd_explain(args) -> int:
             broadcast_threshold=args.broadcast_threshold,
             views=args.views,
             view_threshold=args.view_threshold,
+            route=args.route,
+            route_engines=args.route_engines or None,
         )
     )
+    return 0
+
+
+def cmd_route(args) -> int:
+    import json
+
+    from repro.routing import RoutingPolicy
+
+    graph = load_graph(args.data)
+    query_text = _read_query_arg(args.query)
+    policy = RoutingPolicy.for_graph(
+        graph,
+        engines=args.engine or None,
+        mode=args.optimizer_mode,
+        broadcast_threshold=args.broadcast_threshold,
+    )
+    decision = policy.decide(query_text)
+    if args.json:
+        print(json.dumps(decision.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(decision.render())
     return 0
 
 
@@ -383,10 +428,13 @@ def _build_service(args):
     from repro.server import QueryService
 
     _check_views_flags(args)
+    _check_route_flags(args)
     graph = load_graph(args.data)
     return QueryService(
         graph,
         engine=args.engine,
+        route=args.route,
+        route_engines=args.route_engines or None,
         pool_size=args.pool,
         parallelism=args.parallelism,
         queue_limit=args.queue_limit,
@@ -431,16 +479,30 @@ def cmd_serve(args) -> int:
 
 
 def cmd_loadtest(args) -> int:
-    from repro.server import LoadGenerator, build_workload
+    from repro.server import (
+        LoadGenerator,
+        build_shape_workload,
+        build_workload,
+        shape_tenant_profiles,
+    )
 
     if args.smoke:
         args.clients = min(args.clients, 4)
         args.requests = min(args.requests, 2)
         args.queries = min(args.queries, 4)
     service = _build_service(args)
-    workload = build_workload(
-        service.versions.head(), size=args.queries, seed=args.seed
-    )
+    profiles = None
+    if args.shape_mix:
+        workload = build_shape_workload(
+            service.versions.head(),
+            per_shape=max(1, args.queries // 5),
+            seed=args.seed,
+        )
+        profiles = shape_tenant_profiles(workload, args.tenants)
+    else:
+        workload = build_workload(
+            service.versions.head(), size=args.queries, seed=args.seed
+        )
     generator = LoadGenerator(
         service,
         workload,
@@ -450,6 +512,7 @@ def cmd_loadtest(args) -> int:
         think_units=args.think,
         seed=args.seed,
         deadline=args.deadline,
+        tenant_profiles=profiles,
     )
     report = generator.run()
     payload = report.to_payload()
@@ -576,6 +639,23 @@ def _add_view_threshold_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_routing_arguments(parser: argparse.ArgumentParser) -> None:
+    """Adaptive-routing knobs shared by explain/serve/loadtest."""
+    parser.add_argument(
+        "--route",
+        action="store_true",
+        help="dispatch each query through the adaptive per-shape routing "
+        "policy instead of one fixed engine (see docs/ROUTING.md)",
+    )
+    parser.add_argument(
+        "--route-engines",
+        action="append",
+        metavar="NAME",
+        help="candidate engine for the routed pool (repeatable; requires "
+        "--route; default: the survey preference pool)",
+    )
+
+
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     """Executor-backend knobs shared by every executing subcommand."""
     from repro.spark.parallel import BACKEND_NAMES, DEFAULT_WORKERS
@@ -664,6 +744,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument("--parallelism", type=int, default=4)
     _add_optimizer_arguments(explain)
+    _add_routing_arguments(explain)
+
+    route = sub.add_parser(
+        "route",
+        help="show the adaptive routing decision for a query without "
+        "executing it (see docs/ROUTING.md)",
+    )
+    route.add_argument("data", help="RDF file (.nt or .ttl)")
+    route.add_argument("query", help="SPARQL file or literal query text")
+    route.add_argument(
+        "--engine",
+        action="append",
+        help="candidate engine for the pool (repeatable; default: the "
+        "survey preference pool)",
+    )
+    route.add_argument(
+        "--json",
+        action="store_true",
+        help="print the decision as deterministic JSON instead of text",
+    )
+    from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, ORDER_MODES
+
+    route.add_argument(
+        "--optimizer-mode",
+        choices=list(ORDER_MODES),
+        default="dp",
+        help="join ordering used by the base cost estimate (default dp)",
+    )
+    route.add_argument(
+        "--broadcast-threshold",
+        type=int,
+        default=DEFAULT_BROADCAST_THRESHOLD,
+        metavar="ROWS",
+        help="broadcast threshold for the base cost estimate (default %d)"
+        % DEFAULT_BROADCAST_THRESHOLD,
+    )
 
     assess = sub.add_parser(
         "assess", help="run the cross-system assessment on a data file"
@@ -786,6 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="read request lines from FILE instead of stdin",
     )
     _add_service_arguments(serve)
+    _add_routing_arguments(serve)
     _add_optimizer_arguments(serve)
     _add_fault_arguments(serve)
     _add_backend_arguments(serve)
@@ -825,7 +942,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny fixed-size run for CI (caps clients/requests/queries)",
     )
+    loadtest.add_argument(
+        "--shape-mix",
+        action="store_true",
+        help="drive the shape-stratified workload (one batch of queries "
+        "per shape) with per-tenant shape emphasis instead of the "
+        "uniform workload",
+    )
     _add_service_arguments(loadtest)
+    _add_routing_arguments(loadtest)
     _add_optimizer_arguments(loadtest)
     _add_fault_arguments(loadtest)
     _add_backend_arguments(loadtest)
@@ -901,6 +1026,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "claims": cmd_claims,
         "query": cmd_query,
         "explain": cmd_explain,
+        "route": cmd_route,
         "assess": cmd_assess,
         "generate": cmd_generate,
         "serve": cmd_serve,

@@ -171,6 +171,8 @@ def explain(
     broadcast_threshold: Optional[int] = None,
     views: bool = False,
     view_threshold: Optional[float] = None,
+    route: bool = False,
+    route_engines: Optional[Sequence[str]] = None,
 ) -> str:
     """Side-by-side per-operator cost trees for *query* on *engines*.
 
@@ -179,12 +181,16 @@ def explain(
     compare engines under identical join orders and strategies.  With
     ``views=True`` on top, materialized ExtVP views are built at
     *view_threshold* and a ``views:`` preamble block reports which views
-    the plan substitutes and why.
+    the plan substitutes and why.  With ``route=True`` a ``routing:``
+    block shows where a fresh adaptive :class:`repro.routing.RoutingPolicy`
+    over *route_engines* would dispatch the query and at what priced
+    bids.
 
-    Preamble blocks (lint findings, view substitutions) render above the
-    per-engine sections in **sorted key order** -- the order is a stable
-    function of which blocks are non-empty, never of feature flags or
-    evaluation order (pinned by ``tests/test_explain.py``).
+    Preamble blocks (lint findings, routing decision, view
+    substitutions) render above the per-engine sections in **sorted key
+    order** -- the order is a stable function of which blocks are
+    non-empty, never of feature flags or evaluation order (pinned by
+    ``tests/test_explain.py``).
     """
     if isinstance(query, str):
         query = parse_sparql(query)
@@ -206,6 +212,15 @@ def explain(
     preamble: Dict[str, str] = {
         "lint": _lint_section(
             query, graph, optimizer, optimizer_mode, broadcast_threshold
+        ),
+        "routing": _routing_section(
+            query,
+            graph,
+            optimizer,
+            optimizer_mode,
+            broadcast_threshold,
+            route,
+            route_engines,
         ),
         "views": _views_section(query, optimizer),
     }
@@ -266,6 +281,42 @@ def _lint_section(
         for diagnostic in report.sorted_diagnostics()
     )
     return "\n".join(lines)
+
+
+def _routing_section(
+    query: Query,
+    graph: RDFGraph,
+    optimizer,
+    optimizer_mode: str,
+    broadcast_threshold: Optional[int],
+    route: bool,
+    route_engines: Optional[Sequence[str]],
+) -> str:
+    """The adaptive-routing preamble of an EXPLAIN, empty unless asked.
+
+    Shows where a *fresh* (prior-only, zero observations) policy would
+    dispatch the query: shape, base cost, the priced bid of every
+    fragment-eligible pool engine, and which pool engines the fragment
+    check excluded.  Like lint and views, this is a property of the
+    query and the catalog, not of any engine section below it.
+    """
+    if not route:
+        return ""
+    from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD
+    from repro.routing import RoutingPolicy
+
+    policy = RoutingPolicy.for_graph(
+        graph,
+        engines=route_engines,
+        mode=optimizer_mode,
+        broadcast_threshold=(
+            DEFAULT_BROADCAST_THRESHOLD
+            if broadcast_threshold is None
+            else broadcast_threshold
+        ),
+        catalog=optimizer.catalog if optimizer is not None else None,
+    )
+    return policy.decide(query).render()
 
 
 def _views_section(query: Query, optimizer) -> str:

@@ -1,0 +1,48 @@
+"""Adaptive per-shape engine routing (see docs/ROUTING.md).
+
+The survey's central finding is that no single Spark RDF mechanism wins
+every query shape.  This package turns the query service into an
+ensemble that exploits that: a :class:`RoutingPolicy` classifies each
+query's shape, prices every candidate engine as ``base cost estimate x
+per-(engine, shape) calibration factor``, and dispatches to the
+cheapest; a :class:`FeedbackLog` corrects the factors from observed
+cost units after every execution.  :mod:`repro.routing.defaults` holds
+the survey preference table both this policy and the static
+:class:`repro.systems.ShapeAwareRouter` derive from.
+"""
+
+from repro.routing.defaults import (
+    DEFAULT_ENGINE_POOL,
+    DEFAULT_FALLBACK_CHAIN,
+    DEFAULT_SHAPE_PREFERENCES,
+    default_priors,
+)
+from repro.routing.feedback import (
+    DEFAULT_HISTORY,
+    DEFAULT_MIN_OBSERVATIONS,
+    DEFAULT_PRIOR_WEIGHT,
+    EXPLORE_DISCOUNT,
+    FACTOR_MAX,
+    FACTOR_MIN,
+    FeedbackLog,
+    clamp_factor,
+)
+from repro.routing.policy import EngineBid, RoutingDecision, RoutingPolicy
+
+__all__ = [
+    "DEFAULT_ENGINE_POOL",
+    "DEFAULT_FALLBACK_CHAIN",
+    "DEFAULT_HISTORY",
+    "DEFAULT_MIN_OBSERVATIONS",
+    "DEFAULT_PRIOR_WEIGHT",
+    "DEFAULT_SHAPE_PREFERENCES",
+    "EXPLORE_DISCOUNT",
+    "EngineBid",
+    "FACTOR_MAX",
+    "FACTOR_MIN",
+    "FeedbackLog",
+    "RoutingDecision",
+    "RoutingPolicy",
+    "clamp_factor",
+    "default_priors",
+]

@@ -1,0 +1,203 @@
+"""The routing feedback loop: bounded-history per-(engine, shape) calibration.
+
+After every routed execution the service records the planner's
+engine-independent cost estimate against the cost units the engine
+actually charged.  The ratio ``actual / estimate`` is an observation of
+how that engine's mechanism prices that query shape; the calibration
+*factor* is a deterministic geometric blend of the prior and the last
+``history`` observations:
+
+    factor = clamp(exp((w * ln(prior) + sum(ln r_i)) / (w + n)))
+
+where ``w`` is the prior's pseudo-observation weight.  Early
+observations move the factor quickly (the mis-calibration correction
+the tests pin); a full history window makes it the geometric mean of
+recent behavior, so the loop also tracks drift after graph commits.
+
+Exploration is deterministic, not stochastic: an (engine, shape) pair
+with fewer than ``min_observations`` recorded runs bids with its factor
+*discounted* (``explore_discount`` per missing observation), so the
+policy provably tries every candidate engine on every shape it keeps
+seeing before committing to a winner -- unless a pair was explicitly
+seeded (:meth:`FeedbackLog.seed_prior`), which models an operator-
+supplied (possibly wrong) calibration and is exempt from the discount.
+
+Everything here is a pure function of the recorded sequence: no clock,
+no randomness, iteration orders sorted -- the determinism contract of
+docs/ROUTING.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple, Union
+
+from repro.sparql.shapes import QueryShape
+
+#: Calibration factors and observed ratios are clamped to this range, so
+#: one absurd observation (or seeded prior) can never saturate the blend
+#: beyond recovery.
+FACTOR_MIN = 1.0 / 1024.0
+FACTOR_MAX = 1024.0
+
+#: Observations kept per (engine, shape) pair.
+DEFAULT_HISTORY = 32
+
+#: Pseudo-observation weight of the prior in the geometric blend.
+DEFAULT_PRIOR_WEIGHT = 2
+
+#: Runs an (engine, shape) pair needs before its bid is undiscounted.
+DEFAULT_MIN_OBSERVATIONS = 1
+
+#: Bid discount per missing observation (optimism under uncertainty).
+EXPLORE_DISCOUNT = 0.5
+
+ShapeLike = Union[QueryShape, str]
+
+
+def _shape_value(shape: ShapeLike) -> str:
+    return shape.value if isinstance(shape, QueryShape) else str(shape)
+
+
+def clamp_factor(value: float) -> float:
+    return min(FACTOR_MAX, max(FACTOR_MIN, value))
+
+
+class FeedbackLog:
+    """Deterministic per-(engine, shape) calibration state."""
+
+    def __init__(
+        self,
+        priors: Optional[Dict[Tuple[str, str], float]] = None,
+        history: int = DEFAULT_HISTORY,
+        prior_weight: int = DEFAULT_PRIOR_WEIGHT,
+        min_observations: int = DEFAULT_MIN_OBSERVATIONS,
+        explore_discount: float = EXPLORE_DISCOUNT,
+    ) -> None:
+        if history <= 0:
+            raise ValueError("history must be positive")
+        if prior_weight <= 0:
+            raise ValueError("prior_weight must be positive")
+        if min_observations < 0:
+            raise ValueError("min_observations must be non-negative")
+        if not 0.0 < explore_discount <= 1.0:
+            raise ValueError("explore_discount must be in (0, 1]")
+        self.history = history
+        self.prior_weight = prior_weight
+        self.min_observations = min_observations
+        self.explore_discount = explore_discount
+        self._priors: Dict[Tuple[str, str], float] = {}
+        self._seeded: Dict[Tuple[str, str], float] = {}
+        self._ratios: Dict[Tuple[str, str], Deque[float]] = {}
+        for (engine, shape), prior in (priors or {}).items():
+            self._priors[(engine, _shape_value(shape))] = clamp_factor(prior)
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+
+    def seed_prior(
+        self, engine: str, shape: ShapeLike, factor: float
+    ) -> None:
+        """Install an operator-supplied prior for (engine, shape).
+
+        The seeded value replaces the default prior *and* exempts the
+        pair from the exploration discount: the policy trusts it
+        immediately, which is exactly what lets a mis-calibrated seed
+        mis-route until :meth:`record` corrects it (bounded by the
+        prior's fixed pseudo-weight -- see ``tests/routing``).
+        """
+        key = (engine, _shape_value(shape))
+        self._priors[key] = clamp_factor(factor)
+        self._seeded[key] = clamp_factor(factor)
+
+    def is_seeded(self, engine: str, shape: ShapeLike) -> bool:
+        return (engine, _shape_value(shape)) in self._seeded
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    def prior(self, engine: str, shape: ShapeLike) -> float:
+        return self._priors.get((engine, _shape_value(shape)), 1.0)
+
+    def observations(self, engine: str, shape: ShapeLike) -> int:
+        ratios = self._ratios.get((engine, _shape_value(shape)))
+        return len(ratios) if ratios is not None else 0
+
+    def factor(self, engine: str, shape: ShapeLike) -> float:
+        """The calibrated factor: geometric blend of prior and history."""
+        key = (engine, _shape_value(shape))
+        prior = self._priors.get(key, 1.0)
+        ratios = self._ratios.get(key)
+        if not ratios:
+            return clamp_factor(prior)
+        total = self.prior_weight * math.log(prior) + sum(
+            math.log(ratio) for ratio in ratios
+        )
+        return clamp_factor(
+            math.exp(total / (self.prior_weight + len(ratios)))
+        )
+
+    def effective_factor(self, engine: str, shape: ShapeLike) -> float:
+        """The bidding factor: calibrated, discounted while unexplored."""
+        factor = self.factor(engine, shape)
+        if self.is_seeded(engine, shape):
+            return factor
+        missing = self.min_observations - self.observations(engine, shape)
+        if missing <= 0:
+            return factor
+        return clamp_factor(factor * self.explore_discount**missing)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        engine: str,
+        shape: ShapeLike,
+        estimated: float,
+        actual: float,
+    ) -> float:
+        """Record one (estimate, actual cost units) run; return the new
+        calibrated factor for (engine, shape)."""
+        key = (engine, _shape_value(shape))
+        ratio = clamp_factor(max(actual, 1.0) / max(estimated, 1.0))
+        ratios = self._ratios.get(key)
+        if ratios is None:
+            ratios = deque(maxlen=self.history)
+            self._ratios[key] = ratios
+        ratios.append(ratio)
+        return self.factor(engine, shape)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def known_keys(self) -> Iterable[Tuple[str, str]]:
+        return sorted(set(self._priors) | set(self._ratios))
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """JSON-ready calibration state, sorted engine -> shape."""
+        out: Dict[str, Dict[str, Dict[str, object]]] = {}
+        for engine, shape in self.known_keys():
+            entry = {
+                "prior": round(self.prior(engine, shape), 6),
+                "factor": round(self.factor(engine, shape), 6),
+                "effective": round(self.effective_factor(engine, shape), 6),
+                "observations": self.observations(engine, shape),
+            }
+            if self.is_seeded(engine, shape):
+                entry["seeded"] = True
+            out.setdefault(engine, {})[shape] = entry
+        return out
+
+    def __repr__(self) -> str:
+        observed = sum(len(r) for r in self._ratios.values())
+        return "FeedbackLog(pairs=%d, observations=%d, history=%d)" % (
+            len(set(self._priors) | set(self._ratios)),
+            observed,
+            self.history,
+        )

@@ -15,8 +15,11 @@ from repro.server.frontend import handle_request, serve_lines
 from repro.server.loadgen import (
     LoadGenerator,
     LoadReport,
+    SHAPE_NAMES,
+    build_shape_workload,
     build_workload,
     percentile,
+    shape_tenant_profiles,
 )
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -46,6 +49,8 @@ __all__ = [
     "QueryRequest",
     "QueryService",
     "ResultCache",
+    "SHAPE_NAMES",
+    "build_shape_workload",
     "build_workload",
     "canonical_json",
     "canonical_result",
@@ -55,4 +60,5 @@ __all__ = [
     "normalize_query",
     "percentile",
     "serve_lines",
+    "shape_tenant_profiles",
 ]

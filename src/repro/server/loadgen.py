@@ -75,6 +75,16 @@ class LoadReport:
     max_queue_depth: int = 0
     per_tenant: Dict[str, Dict[str, int]] = field(default_factory=dict)
     cache: Dict[str, Any] = field(default_factory=dict)
+    #: Per-shape aggregation (completed/ok/service_units) keyed by the
+    #: *classified* shape of each completed request, not its name.
+    per_shape: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    shape_latencies: Dict[str, List[int]] = field(default_factory=dict)
+    #: Completions per serving engine: the routed winner under
+    #: ``route=True``, the fixed engine otherwise.
+    routed_to: Dict[str, int] = field(default_factory=dict)
+    #: The service's routing-policy snapshot after the run (None when
+    #: routing is off).
+    routing_policy: Optional[Dict[str, Any]] = None
 
     def throughput_per_kilounit(self) -> float:
         if self.duration_units == 0:
@@ -115,6 +125,34 @@ class LoadReport:
             },
             "cache": dict(self.cache),
             "tenants": {k: dict(v) for k, v in sorted(self.per_tenant.items())},
+            "shapes": {
+                shape: dict(
+                    counters,
+                    latency_units={
+                        "p50": percentile(
+                            self.shape_latencies.get(shape, []), 50
+                        ),
+                        "p95": percentile(
+                            self.shape_latencies.get(shape, []), 95
+                        ),
+                        "mean": (
+                            round(
+                                sum(self.shape_latencies[shape])
+                                / len(self.shape_latencies[shape]),
+                                6,
+                            )
+                            if self.shape_latencies.get(shape)
+                            else 0.0
+                        ),
+                    },
+                )
+                for shape, counters in sorted(self.per_shape.items())
+            },
+            "routing": {
+                "enabled": bool(self.config.get("route")),
+                "routed_to": dict(sorted(self.routed_to.items())),
+                "policy": self.routing_policy,
+            },
         }
 
     def to_json(self) -> str:
@@ -203,6 +241,170 @@ def build_workload(
     return workload
 
 
+#: The shape vocabulary of :func:`build_shape_workload`, in emission
+#: order (matches the non-degenerate :class:`repro.sparql.shapes.QueryShape`
+#: values).
+SHAPE_NAMES = ("single", "star", "linear", "snowflake", "complex")
+
+
+def build_shape_workload(
+    graph, per_shape: int = 1, seed: int = 42
+) -> List[Tuple[str, str]]:
+    """A deterministic shape-stratified (name, query) workload.
+
+    One query family per :data:`SHAPE_NAMES` entry, built from the
+    graph's own predicates so every query has answers: a single-pattern
+    scan, a two-pattern subject star, a two-hop chain, a star-bridge-star
+    snowflake, and an object-object join (complex).  Shapes the graph
+    cannot instantiate (e.g. no bridging predicate pairs) are skipped,
+    so the result may be shorter than ``5 * per_shape`` on degenerate
+    graphs; the per-request report keys on the *classified* shape, never
+    on these names.
+    """
+    rng = random.Random(seed)
+    predicates = sorted(
+        {t.predicate for t in graph}, key=lambda term: term.sort_key()
+    )
+    if not predicates:
+        raise ValueError("graph has no triples to build a workload from")
+    subjects = set(graph.subjects())
+
+    def preds_of(node):
+        return sorted(
+            {t.predicate for t in graph.triples((node, None, None))},
+            key=lambda t: t.sort_key(),
+        )
+
+    # Subject stars: subjects carrying at least two distinct predicates.
+    star_options = []
+    seen_star = set()
+    for subject in sorted(graph.subjects(), key=lambda t: t.sort_key()):
+        preds = preds_of(subject)
+        if len(preds) >= 2 and tuple(preds[:2]) not in seen_star:
+            seen_star.add(tuple(preds[:2]))
+            star_options.append(preds[:2])
+    # Two-hop chains: predicate pairs (p, q) where an object of p is a
+    # subject of q; snowflakes extend a chain link with a star at each
+    # end (?a {p1,p2} / bridge p2 -> ?b {q1,q2}).
+    path_pairs = []
+    snowflake_options = []
+    seen_path = set()
+    seen_snow = set()
+    for p in predicates:
+        bridging = [
+            t.object for t in graph.triples((None, p, None))
+            if t.object in subjects
+        ]
+        if not bridging:
+            continue
+        for node in sorted(bridging, key=lambda t: t.sort_key()):
+            follow = preds_of(node)
+            for q in follow:
+                if (p, q) not in seen_path:
+                    seen_path.add((p, q))
+                    path_pairs.append((p, q))
+            if len(follow) < 2:
+                continue
+            # A star on the bridge target; now find a star source.
+            for source in sorted(
+                {
+                    t.subject
+                    for t in graph.triples((None, p, node))
+                },
+                key=lambda t: t.sort_key(),
+            ):
+                source_preds = [
+                    sp for sp in preds_of(source) if sp != p
+                ]
+                if not source_preds:
+                    continue
+                key = (source_preds[0], p, follow[0], follow[1])
+                if key not in seen_snow:
+                    seen_snow.add(key)
+                    snowflake_options.append(key)
+                break
+    # Object-object joins: distinct predicate pairs sharing an object.
+    complex_options = []
+    objects_by_pred = {
+        p: {t.object for t in graph.triples((None, p, None))}
+        for p in predicates
+    }
+    for i, p in enumerate(predicates):
+        for q in predicates[i + 1:]:
+            if objects_by_pred[p] & objects_by_pred[q]:
+                complex_options.append((p, q))
+
+    templates = {
+        "single": (
+            predicates,
+            lambda opt: "SELECT ?s ?o WHERE { ?s %s ?o }" % opt.n3(),
+        ),
+        "star": (
+            star_options,
+            lambda opt: "SELECT ?s ?o0 ?o1 WHERE { ?s %s ?o0 . ?s %s ?o1 }"
+            % (opt[0].n3(), opt[1].n3()),
+        ),
+        "linear": (
+            path_pairs,
+            lambda opt: "SELECT ?a ?b ?c WHERE { ?a %s ?b . ?b %s ?c }"
+            % (opt[0].n3(), opt[1].n3()),
+        ),
+        "snowflake": (
+            snowflake_options,
+            lambda opt: "SELECT ?a ?o0 ?b ?c0 ?c1 WHERE { "
+            "?a %s ?o0 . ?a %s ?b . ?b %s ?c0 . ?b %s ?c1 }"
+            % (opt[0].n3(), opt[1].n3(), opt[2].n3(), opt[3].n3()),
+        ),
+        "complex": (
+            complex_options,
+            lambda opt: "SELECT ?a ?b ?o WHERE { ?a %s ?o . ?b %s ?o }"
+            % (opt[0].n3(), opt[1].n3()),
+        ),
+    }
+    workload: List[Tuple[str, str]] = []
+    for shape in SHAPE_NAMES:
+        options, render = templates[shape]
+        if not options:
+            continue
+        for index in range(per_shape):
+            option = options[rng.randrange(len(options))]
+            workload.append(("%s%d" % (shape, index), render(option)))
+    return workload
+
+
+def shape_tenant_profiles(
+    workload: Sequence[Tuple[str, str]],
+    tenants: int,
+    emphasis: int = 3,
+) -> Dict[str, List[str]]:
+    """Shape-mixed tenant profiles over a stratified workload.
+
+    Tenant *i* draws every workload query but sees its preferred shape
+    (round-robin over the shapes present) ``emphasis`` times as often --
+    a deterministic skew that gives the routing feedback loop every
+    shape while keeping tenants distinguishable in the report.
+    """
+    if tenants <= 0:
+        raise ValueError("tenants must be positive")
+    shapes: List[str] = []
+    by_shape: Dict[str, List[str]] = {}
+    for name, _text in workload:
+        shape = name.rstrip("0123456789")
+        if shape not in by_shape:
+            shapes.append(shape)
+            by_shape[shape] = []
+        by_shape[shape].append(name)
+    profiles: Dict[str, List[str]] = {}
+    for tenant in range(tenants):
+        preferred = shapes[tenant % len(shapes)]
+        profile = by_shape[preferred] * emphasis
+        for shape in shapes:
+            if shape != preferred:
+                profile.extend(by_shape[shape])
+        profiles["tenant%d" % tenant] = profile
+    return profiles
+
+
 @dataclass(frozen=True)
 class _Arrival:
     """One in-flight submission (queue entry payload)."""
@@ -225,6 +427,7 @@ class LoadGenerator:
         think_units: int = 50,
         seed: int = 42,
         deadline: Optional[int] = None,
+        tenant_profiles: Optional[Dict[str, Sequence[str]]] = None,
     ) -> None:
         if not workload:
             raise ValueError("workload must contain at least one query")
@@ -244,6 +447,25 @@ class LoadGenerator:
         self.think_units = think_units
         self.seed = seed
         self.deadline = deadline
+        #: Per-tenant draw lists (workload names, duplicates = weight);
+        #: tenants not listed draw uniformly from the whole workload.
+        self.tenant_profiles: Dict[str, List[str]] = {}
+        if tenant_profiles:
+            names = {name for name, _ in self.workload}
+            for tenant in sorted(tenant_profiles):
+                profile = list(tenant_profiles[tenant])
+                unknown = sorted(set(profile) - names)
+                if unknown:
+                    raise ValueError(
+                        "tenant profile %r names unknown queries: %s"
+                        % (tenant, ", ".join(unknown))
+                    )
+                if not profile:
+                    raise ValueError(
+                        "tenant profile %r must not be empty" % tenant
+                    )
+                self.tenant_profiles[tenant] = profile
+        self._by_name = {name: text for name, text in self.workload}
 
     def _tenant_of(self, client: int) -> str:
         return "tenant%d" % (client % self.tenants)
@@ -276,9 +498,14 @@ class LoadGenerator:
                 return None
             remaining[client] -= 1
             sent[client] += 1
-            name, text = self.workload[
-                rngs[client].randrange(len(self.workload))
-            ]
+            profile = self.tenant_profiles.get(self._tenant_of(client))
+            if profile is not None:
+                name = profile[rngs[client].randrange(len(profile))]
+                text = self._by_name[name]
+            else:
+                name, text = self.workload[
+                    rngs[client].randrange(len(self.workload))
+                ]
             return QueryRequest(
                 text=text,
                 tenant=self._tenant_of(client),
@@ -299,7 +526,17 @@ class LoadGenerator:
             )
             tenant["completed"] += 1
             tenant["service_units"] += outcome.service_units
+            shape = outcome.shape or "unknown"
+            per_shape = report.per_shape.setdefault(
+                shape, {"completed": 0, "ok": 0, "service_units": 0}
+            )
+            per_shape["completed"] += 1
+            per_shape["service_units"] += outcome.service_units
+            report.shape_latencies.setdefault(shape, []).append(latency)
+            engine = outcome.engine or self.service.engine_name
+            report.routed_to[engine] = report.routed_to.get(engine, 0) + 1
             if outcome.status == "ok":
+                per_shape["ok"] += 1
                 report.ok += 1
             elif outcome.status == "rejected":
                 # Static lint rejection: counted apart from queue
@@ -388,6 +625,8 @@ class LoadGenerator:
                     dispatch(queued, worker, now)
 
         report.duration_units = now
+        if getattr(self.service, "route_enabled", False):
+            report.routing_policy = self.service.routing.snapshot()
         snapshot = self.service.snapshot()
         hits = snapshot.result_cache_hits
         misses = snapshot.result_cache_misses
@@ -404,6 +643,16 @@ class LoadGenerator:
     def _config(self) -> Dict[str, Any]:
         return {
             "engine": self.service.engine_name,
+            "route": bool(getattr(self.service, "route_enabled", False)),
+            "route_engines": (
+                list(self.service.routing.engines)
+                if getattr(self.service, "route_enabled", False)
+                else None
+            ),
+            "profiles": {
+                tenant: list(profile)
+                for tenant, profile in sorted(self.tenant_profiles.items())
+            },
             "pool_size": self.service.pool_size,
             "queue_limit": self.service.queue.queue_limit,
             "plan_cache": self.service.enable_plan_cache,

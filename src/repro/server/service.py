@@ -19,7 +19,10 @@ Request lifecycle::
             any cache insert or engine work (status "rejected",
             structured diagnostics, zero service units)
       plan cache insert (miss, admitted only)
+      routing (route=True): classify shape, price candidates, pick the
+            engine (repro.routing; traced as a ``route`` span)
       result cache (text, version, engine) -- hit: return stored bytes
+            (the engine component is the routed winner under route=True)
       miss: engine.execute under ctx.set_deadline(budget)
             -> canonical_result -> canonical_json -> cache put
       outcome: ok | deadline | rejected | unsupported | failed
@@ -33,7 +36,8 @@ version, staleness is impossible even between the bump and the purge.
 Determinism: the service owns its own
 :class:`~repro.spark.metrics.MetricsCollector` and
 :class:`~repro.spark.tracing.Tracer` (span kinds ``request`` /
-``admission`` / ``lint`` / ``plan`` / ``result`` / ``commit``); neither
+``admission`` / ``lint`` / ``route`` / ``plan`` / ``result`` /
+``commit``); neither
 consults a clock, so a request sequence replays to byte-identical
 outcomes.
 """
@@ -41,7 +45,7 @@ outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.core import AnalysisReport
 from repro.analysis.query import lint_query
@@ -49,6 +53,7 @@ from repro.rdf.graph import RDFGraph
 from repro.evolution.versioned import VersionedGraph
 from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, Optimizer
 from repro.rdf.triple import Triple
+from repro.routing import RoutingPolicy
 from repro.runtime import build_engine, resolve_engine
 from repro.server.admission import FairShareQueue
 from repro.server.cache import PlanCache, ResultCache, normalize_query
@@ -58,6 +63,7 @@ from repro.spark.faults import FaultScheduler, TaskFailedError
 from repro.spark.metrics import MetricsCollector, MetricsSnapshot
 from repro.spark.tracing import Tracer
 from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import classify_shape
 from repro.stats.catalog import StatsCatalog
 from repro.systems.base import UnsupportedQueryError
 
@@ -100,6 +106,12 @@ class QueryOutcome:
     #: Sorted lint diagnostics (payload dicts) when the static analyzer
     #: had findings; always populated on ``rejected`` outcomes.
     diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    #: The query's classified shape (empty until the request parses).
+    shape: str = ""
+    #: The engine that served (or would serve) the request: the routed
+    #: winner under ``route=True``, the fixed engine otherwise.  Not part
+    #: of :meth:`to_response` -- the wire envelope is routing-agnostic.
+    engine: str = ""
 
     def to_response(self) -> Dict[str, Any]:
         """The JSON-lines response object for this outcome."""
@@ -117,6 +129,32 @@ class QueryOutcome:
         if self.diagnostics:
             response["diagnostics"] = list(self.diagnostics)
         return response
+
+
+class _EngineSet:
+    """One pool slot under adaptive routing: every candidate, warmed.
+
+    Exposes the same ``load`` / ``set_optimizer`` lifecycle as a single
+    engine so :meth:`QueryService._commit` treats both slot kinds
+    uniformly; dispatch picks the member the routing decision named.
+    """
+
+    def __init__(self, engines: Dict[str, Any]) -> None:
+        self._engines = engines
+
+    def engine_for(self, name: str):
+        return self._engines[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._engines)
+
+    def load(self, graph) -> None:
+        for name in sorted(self._engines):
+            self._engines[name].load(graph)
+
+    def set_optimizer(self, optimizer) -> None:
+        for name in sorted(self._engines):
+            self._engines[name].set_optimizer(optimizer)
 
 
 class QueryService:
@@ -145,9 +183,13 @@ class QueryService:
         view_threshold: Optional[float] = None,
         backend: str = "inprocess",
         workers: Optional[int] = None,
+        route: bool = False,
+        route_engines: Optional[Sequence[str]] = None,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
+        if route_engines and not route:
+            raise ValueError("route_engines requires route=True")
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError(
                 "default_deadline must be a positive number of cost units"
@@ -192,6 +234,18 @@ class QueryService:
         self._lint_catalog: Optional[StatsCatalog] = None
         if lint_admission:
             self._lint_catalog = self._build_lint_catalog()
+        #: The adaptive per-shape router (docs/ROUTING.md), or None for
+        #: fixed-engine dispatch.  Shares the optimizer/lint statistics
+        #: catalog; its feedback state survives commits.
+        self.routing: Optional[RoutingPolicy] = None
+        if route:
+            self.routing = RoutingPolicy.for_graph(
+                self.versions.head(),
+                engines=route_engines,
+                mode=self._optimizer_mode,
+                broadcast_threshold=self._broadcast_threshold,
+                catalog=self._routing_catalog(),
+            )
         self.pool = [
             self._build_worker() for _ in range(pool_size)
         ]
@@ -226,9 +280,24 @@ class QueryService:
             self.versions.head(), version=self.versions.head_version
         )
 
-    def _build_worker(self):
+    def _routing_catalog(self) -> StatsCatalog:
+        """Statistics anchoring the routing cost estimates.
+
+        Shares the optimizer's catalog (or the lint catalog) when one
+        exists -- same graph pass, same version -- so routing never pays
+        for a second statistics build.
+        """
+        if self.optimizer is not None:
+            return self.optimizer.catalog
+        if self._lint_catalog is not None:
+            return self._lint_catalog
+        return StatsCatalog.from_graph(
+            self.versions.head(), version=self.versions.head_version
+        )
+
+    def _build_one_engine(self, name: str):
         engine = build_engine(
-            self.engine_name,
+            name,
             self.versions.head(),
             parallelism=self.parallelism,
             faults=self._fault_schedule(),
@@ -240,6 +309,19 @@ class QueryService:
         if self.optimizer is not None:
             engine.set_optimizer(self.optimizer)
         return engine
+
+    def _build_worker(self):
+        if self.routing is not None:
+            names = list(self.routing.engines)
+            names.extend(
+                name
+                for name in self.routing.fallbacks
+                if name not in names
+            )
+            return _EngineSet(
+                {name: self._build_one_engine(name) for name in names}
+            )
+        return self._build_one_engine(self.engine_name)
 
     def _fault_schedule(self) -> Union[None, FaultScheduler]:
         """A fresh, equivalent scheduler per worker (as BenchRun does)."""
@@ -261,6 +343,11 @@ class QueryService:
     @property
     def pool_size(self) -> int:
         return len(self.pool)
+
+    @property
+    def route_enabled(self) -> bool:
+        """Whether adaptive per-shape routing is dispatching requests."""
+        return self.routing is not None
 
     @property
     def stats_version(self) -> int:
@@ -366,8 +453,21 @@ class QueryService:
                 )
             self.metrics.record_plan_cache(plan_hit)
 
+        # Routing tier: classify the shape and, under route=True, pick
+        # the engine *before* the result tier -- the cache key embeds
+        # the routed engine, so answers served by different engines
+        # never alias (their canonical bytes are identical anyway,
+        # which tests/server/test_routing_service.py pins).
+        outcome.shape = classify_shape(plan).value
+        decision = None
+        engine_label = self.engine_name
+        if self.routing is not None:
+            decision = self._route(plan, request)
+            engine_label = decision.winner
+        outcome.engine = engine_label
+
         # Result tier.
-        key = (normalized, self.version, self.engine_name)
+        key = (normalized, self.version, engine_label)
         if self.enable_result_cache:
             cached = self.result_cache.get(key, self.metrics)
             if cached is not None:
@@ -378,7 +478,12 @@ class QueryService:
                 return outcome
 
         # Cold (or plan-warm) execution under a deadline.
-        engine = self.pool[worker]
+        slot = self.pool[worker]
+        engine = (
+            slot.engine_for(engine_label)
+            if decision is not None
+            else slot
+        )
         ctx = engine.ctx
         before = ctx.metrics.snapshot()
         ctx.set_deadline(budget, query=request.id or normalized[:40])
@@ -390,6 +495,11 @@ class QueryService:
             outcome.service_units = exc.spent
             self.metrics.record_deadline_abort()
             self.metrics.record_completion(0, exc.spent)
+            if decision is not None:
+                # The abort's spent units are a lower bound on the true
+                # cost -- still a valid (and cheap) lesson that this
+                # engine overruns budgets on this shape.
+                self.routing.record(decision, exc.spent)
             return outcome
         except UnsupportedQueryError as exc:
             outcome.status = "unsupported"
@@ -411,10 +521,32 @@ class QueryService:
         outcome.payload = canonical_json(canonical_result(result, plan))
         outcome.cache = "plan" if plan_hit else "cold"
         outcome.service_units = max(spent, 1)
+        if decision is not None:
+            self.routing.record(decision, outcome.service_units)
         if self.enable_result_cache:
             self.result_cache.put(key, outcome.payload, self.metrics)
         self.metrics.record_completion(0, outcome.service_units)
         return outcome
+
+    def _route(self, plan, request: QueryRequest):
+        """One routing decision, traced as a ``route`` span."""
+
+        def run():
+            decision = self.routing.decide(plan)
+            self.metrics.incr("routing_decisions")
+            if decision.fallback:
+                self.metrics.incr("routing_fallbacks")
+            return decision
+
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "route", name=request.id or "-"
+            ) as span:
+                decision = run()
+                if span is not None:
+                    span.attrs.update(decision.describe())
+                return decision
+        return run()
 
     def _lint(self, plan, request: QueryRequest, budget) -> AnalysisReport:
         """Run the static linter over one parsed plan, traced."""
@@ -488,6 +620,10 @@ class QueryService:
             # Lint statistics must track the served head, or admission
             # would reject queries over predicates this commit added.
             self._lint_catalog = self._build_lint_catalog()
+        if self.routing is not None:
+            # Routing estimates re-anchor on the new head's statistics;
+            # calibration (the feedback history) deliberately survives.
+            self.routing.refresh(self._routing_catalog())
         for engine in self.pool:
             engine.load(head)
             if self.optimizer is not None:
@@ -515,6 +651,8 @@ class QueryService:
         view_catalog = self.view_catalog
         if view_catalog is not None:
             payload["views"] = view_catalog.summary()
+        if self.routing is not None:
+            payload["routing"] = self.routing.snapshot()
         return payload
 
     @property

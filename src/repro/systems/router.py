@@ -28,6 +28,10 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 from repro.rdf.graph import RDFGraph
+from repro.routing.defaults import (
+    DEFAULT_FALLBACK_CHAIN,
+    DEFAULT_SHAPE_PREFERENCES,
+)
 from repro.spark.context import SparkContext
 from repro.sparql.ast import Query
 from repro.sparql.parser import parse_sparql
@@ -40,20 +44,32 @@ from repro.systems.s2rdf import S2RdfEngine
 from repro.systems.sparkrdf import SparkRdfMesgEngine
 from repro.systems.sparqlgx import SparqlgxEngine
 
-#: The assessment-derived preference per shape.
+#: Engine classes by profile name, for resolving the shared name-based
+#: preference table (:mod:`repro.routing.defaults`) without importing
+#: the full registry.
+_ENGINES_BY_NAME: Dict[str, Type[SparkRdfEngine]] = {
+    cls.profile.name: cls
+    for cls in (
+        HaqwaEngine,
+        S2RdfEngine,
+        HybridEngine,
+        SparkRdfMesgEngine,
+        SparqlgxEngine,
+        NaiveEngine,
+    )
+}
+
+#: The assessment-derived preference per shape, resolved from the single
+#: source of truth the adaptive :class:`repro.routing.RoutingPolicy`
+#: also derives its priors from.
 DEFAULT_ROUTING: Dict[QueryShape, Type[SparkRdfEngine]] = {
-    QueryShape.STAR: HaqwaEngine,
-    QueryShape.LINEAR: S2RdfEngine,
-    QueryShape.SNOWFLAKE: HybridEngine,
-    QueryShape.COMPLEX: SparkRdfMesgEngine,
-    QueryShape.SINGLE: SparqlgxEngine,
-    QueryShape.EMPTY: NaiveEngine,
+    shape: _ENGINES_BY_NAME[name]
+    for shape, name in DEFAULT_SHAPE_PREFERENCES.items()
 }
 
 #: Feature-coverage fallbacks, widest fragment last.
-DEFAULT_FALLBACKS: Sequence[Type[SparkRdfEngine]] = (
-    SparqlgxEngine,
-    NaiveEngine,
+DEFAULT_FALLBACKS: Sequence[Type[SparkRdfEngine]] = tuple(
+    _ENGINES_BY_NAME[name] for name in DEFAULT_FALLBACK_CHAIN
 )
 
 

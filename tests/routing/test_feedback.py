@@ -1,0 +1,169 @@
+"""FeedbackLog: the deterministic bounded-history calibration rule."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import (
+    DEFAULT_PRIOR_WEIGHT,
+    EXPLORE_DISCOUNT,
+    FACTOR_MAX,
+    FACTOR_MIN,
+    FeedbackLog,
+    clamp_factor,
+)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        for kwargs in (
+            {"history": 0},
+            {"prior_weight": 0},
+            {"min_observations": -1},
+            {"explore_discount": 0.0},
+            {"explore_discount": 1.5},
+        ):
+            with pytest.raises(ValueError):
+                FeedbackLog(**kwargs)
+
+    def test_priors_are_clamped(self):
+        log = FeedbackLog(priors={("E", "star"): 1e9})
+        assert log.prior("E", "star") == FACTOR_MAX
+
+    def test_unknown_pair_defaults_to_neutral(self):
+        log = FeedbackLog()
+        assert log.prior("E", "star") == 1.0
+        assert log.factor("E", "star") == 1.0
+        assert log.observations("E", "star") == 0
+
+
+class TestBlend:
+    def test_factor_is_geometric_blend_of_prior_and_history(self):
+        log = FeedbackLog(priors={("E", "star"): 0.5})
+        log.record("E", "star", estimated=10.0, actual=40.0)  # ratio 4
+        expected = math.exp(
+            (DEFAULT_PRIOR_WEIGHT * math.log(0.5) + math.log(4.0))
+            / (DEFAULT_PRIOR_WEIGHT + 1)
+        )
+        assert log.factor("E", "star") == pytest.approx(expected)
+
+    def test_history_window_drops_old_ratios(self):
+        log = FeedbackLog(history=2)
+        log.record("E", "star", 1.0, 100.0)  # ratio 100, later evicted
+        log.record("E", "star", 1.0, 2.0)
+        log.record("E", "star", 1.0, 2.0)
+        # Only the two ratio-2 observations remain in the window.
+        expected = math.exp(
+            (DEFAULT_PRIOR_WEIGHT * math.log(1.0) + 2 * math.log(2.0))
+            / (DEFAULT_PRIOR_WEIGHT + 2)
+        )
+        assert log.observations("E", "star") == 2
+        assert log.factor("E", "star") == pytest.approx(expected)
+
+    def test_sub_unit_costs_clamp_to_neutral_ratio(self):
+        """estimated=0 or actual=0 must not blow up the log-blend."""
+        log = FeedbackLog()
+        log.record("E", "star", estimated=0.0, actual=0.0)
+        assert log.factor("E", "star") == pytest.approx(1.0)
+
+
+class TestExploration:
+    def test_unexplored_pair_bids_discounted(self):
+        log = FeedbackLog(min_observations=2)
+        assert log.effective_factor("E", "star") == pytest.approx(
+            EXPLORE_DISCOUNT**2
+        )
+        log.record("E", "star", 10.0, 10.0)
+        assert log.effective_factor("E", "star") == pytest.approx(
+            log.factor("E", "star") * EXPLORE_DISCOUNT
+        )
+        log.record("E", "star", 10.0, 10.0)
+        assert log.effective_factor("E", "star") == log.factor("E", "star")
+
+    def test_seeded_pair_is_exempt_from_discount(self):
+        log = FeedbackLog(min_observations=3)
+        log.seed_prior("E", "star", 0.01)
+        assert log.is_seeded("E", "star")
+        assert log.effective_factor("E", "star") == log.factor("E", "star")
+
+
+class TestConvergence:
+    def test_seeded_miscalibration_is_corrected_within_bounded_requests(self):
+        """An operator seeds 'E is 100x cheaper than it is'; after a
+        handful of truthful observations the blend must price E above an
+        honestly calibrated competitor."""
+        log = FeedbackLog()
+        log.seed_prior("E", "star", 0.01)
+        competitor = 1.0  # a neutral rival factor
+        corrected_at = None
+        for round_number in range(1, 9):
+            log.record("E", "star", estimated=10.0, actual=100.0)  # truth: 10x
+            if log.factor("E", "star") > competitor:
+                corrected_at = round_number
+                break
+        assert corrected_at is not None and corrected_at <= 8
+
+    def test_snapshot_marks_seeded_pairs(self):
+        log = FeedbackLog()
+        log.seed_prior("E", "star", 0.25)
+        log.record("F", "linear", 1.0, 2.0)
+        snap = log.snapshot()
+        assert snap["E"]["star"]["seeded"] is True
+        assert "seeded" not in snap["F"]["linear"]
+        assert snap["F"]["linear"]["observations"] == 1
+
+
+ratios = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+runs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+class TestProperties:
+    @given(prior=ratios, history=runs)
+    @settings(max_examples=200, deadline=None)
+    def test_factor_stays_bounded(self, prior, history):
+        log = FeedbackLog(priors={("E", "star"): prior})
+        for estimated, actual in history:
+            log.record("E", "star", estimated, actual)
+        assert FACTOR_MIN <= log.factor("E", "star") <= FACTOR_MAX
+        assert FACTOR_MIN <= log.effective_factor("E", "star") <= FACTOR_MAX
+
+    @given(prior=ratios, history=runs)
+    @settings(max_examples=100, deadline=None)
+    def test_replay_is_deterministic(self, prior, history):
+        """The same run sequence always yields the same state -- the
+        property that keeps routed caches oracle-exact."""
+
+        def replay():
+            log = FeedbackLog(priors={("E", "star"): prior})
+            for estimated, actual in history:
+                log.record("E", "star", estimated, actual)
+            return log.snapshot()
+
+        assert replay() == replay()
+
+    @given(truth=st.floats(min_value=1.0, max_value=512.0))
+    @settings(max_examples=100, deadline=None)
+    def test_constant_behavior_converges_to_true_ratio(self, truth):
+        """Feeding a constant actual/estimate ratio drives the factor to
+        that ratio as the history fills (the prior's weight is fixed)."""
+        log = FeedbackLog(history=64)
+        for _ in range(64):
+            log.record("E", "star", estimated=1.0, actual=truth)
+        expected = clamp_factor(truth)
+        assert log.factor("E", "star") == pytest.approx(
+            math.exp(
+                (DEFAULT_PRIOR_WEIGHT * 0.0 + 64 * math.log(expected))
+                / (DEFAULT_PRIOR_WEIGHT + 64)
+            )
+        )
+        # Within 20% of the truth despite the sticky neutral prior.
+        assert abs(math.log(log.factor("E", "star") / expected)) < math.log(
+            1.25
+        )

@@ -1,0 +1,172 @@
+"""RoutingPolicy: classification, pricing, fragment exclusion, dispatch."""
+
+import pytest
+
+from repro.data.lubm import LubmGenerator
+from repro.routing import (
+    DEFAULT_ENGINE_POOL,
+    DEFAULT_SHAPE_PREFERENCES,
+    FeedbackLog,
+    RoutingPolicy,
+    default_priors,
+)
+from repro.routing.defaults import (
+    LAST_RESORT_PRIOR,
+    PREFERRED_PRIOR,
+)
+from repro.sparql.shapes import QueryShape
+
+PREFIX = "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+OPTIONAL_QUERY = PREFIX + (
+    "SELECT ?s ?p WHERE { ?s lubm:advisor ?p "
+    "OPTIONAL { ?p lubm:name ?n } }"
+)
+
+
+@pytest.fixture
+def policy(lubm_graph):
+    return RoutingPolicy.for_graph(lubm_graph)
+
+
+class TestDefaults:
+    def test_pool_covers_every_preference_and_fallback(self):
+        for name in DEFAULT_SHAPE_PREFERENCES.values():
+            assert name in DEFAULT_ENGINE_POOL
+        assert "Naive" in DEFAULT_ENGINE_POOL
+
+    def test_default_priors_reproduce_the_survey_table(self):
+        priors = default_priors(DEFAULT_ENGINE_POOL)
+        for shape, preferred in DEFAULT_SHAPE_PREFERENCES.items():
+            assert priors[(preferred, shape.value)] == PREFERRED_PRIOR
+        assert priors[("Naive", "star")] == LAST_RESORT_PRIOR
+
+    def test_unknown_engine_name_rejected(self, lubm_graph):
+        from repro.runtime import UnknownEngineError
+
+        with pytest.raises(UnknownEngineError):
+            RoutingPolicy.for_graph(lubm_graph, engines=["NoSuchEngine"])
+
+    def test_engine_aliases_canonicalize(self, lubm_graph):
+        policy = RoutingPolicy.for_graph(
+            lubm_graph, engines=["sparqlgx", "naive"]
+        )
+        assert policy.engines == ["SPARQLGX", "Naive"]
+
+
+class TestInitialDecisions:
+    """A fresh policy reproduces the static survey table on every shape."""
+
+    @pytest.mark.parametrize(
+        "query, shape",
+        [
+            (LubmGenerator.query_star(), QueryShape.STAR),
+            (LubmGenerator.query_linear(), QueryShape.LINEAR),
+            (LubmGenerator.query_snowflake(), QueryShape.SNOWFLAKE),
+            (LubmGenerator.query_complex(), QueryShape.COMPLEX),
+            (PREFIX + "SELECT ?s WHERE { ?s lubm:age ?a }", QueryShape.SINGLE),
+        ],
+    )
+    def test_fresh_policy_matches_survey_preference(
+        self, policy, query, shape
+    ):
+        decision = policy.decide(query)
+        assert decision.shape == shape.value
+        assert decision.winner == DEFAULT_SHAPE_PREFERENCES[shape]
+        assert not decision.fallback
+
+    def test_bids_are_sorted_and_winner_is_cheapest(self, policy):
+        decision = policy.decide(LubmGenerator.query_star())
+        costs = [bid.cost for bid in decision.bids]
+        assert costs == sorted(costs)
+        assert decision.bids[0].engine == decision.winner
+
+    def test_decision_counters_accumulate(self, policy):
+        policy.decide(LubmGenerator.query_star())
+        policy.decide(LubmGenerator.query_star())
+        assert policy.decisions[("star", "HAQWA")] == 2
+        assert policy.snapshot()["decisions"]["star"]["HAQWA"] == 2
+
+
+class TestFragments:
+    def test_optional_excludes_bgp_only_engines(self, policy):
+        decision = policy.decide(OPTIONAL_QUERY)
+        excluded = {name for name, _missing in decision.excluded}
+        assert "HAQWA" in excluded and "S2RDF" in excluded
+        assert all(
+            "OPTIONAL" in missing for _name, missing in decision.excluded
+        )
+        # SPARQLGX and Naive both cover OPTIONAL: still a pool decision.
+        assert not decision.fallback
+        assert decision.winner == "SPARQLGX"
+
+    def test_fallback_chain_walks_when_pool_cannot_cover(self, lubm_graph):
+        policy = RoutingPolicy.for_graph(
+            lubm_graph, engines=["HAQWA", "S2RDF"]
+        )
+        decision = policy.decide(OPTIONAL_QUERY)
+        assert decision.fallback
+        assert decision.winner == "SPARQLGX"  # first covering fallback
+        assert policy.fallback_decisions == 1
+
+    def test_empty_where_routes_to_naive_preference(self, policy):
+        decision = policy.decide("SELECT ?s WHERE { }")
+        assert decision.shape == "empty"
+        assert decision.base_cost == 1.0
+        assert decision.winner == "Naive"
+
+
+class TestFeedbackIntegration:
+    def test_recorded_costs_move_the_next_decision(self, policy):
+        query = LubmGenerator.query_star()
+        first = policy.decide(query)
+        assert first.winner == "HAQWA"
+        # HAQWA turns out terrible on stars; everyone else is honest.
+        policy.record(first, actual_units=first.base_cost * 1000)
+        for name in ("S2RDF", "SPARQL-Hybrid", "SPARQLGX", "SparkRDF"):
+            policy.feedback.record(name, "star", 1.0, 1.0)
+        moved = policy.decide(query)
+        assert moved.winner != "HAQWA"
+
+    def test_decisions_are_deterministic_replays(self, lubm_graph):
+        def replay():
+            policy = RoutingPolicy.for_graph(lubm_graph)
+            out = []
+            for _ in range(4):
+                decision = policy.decide(LubmGenerator.query_star())
+                policy.record(decision, actual_units=50.0)
+                out.append((decision.winner, decision.to_payload()))
+            return out
+
+        assert replay() == replay()
+
+    def test_refresh_keeps_calibration(self, policy, lubm_graph):
+        from repro.stats import StatsCatalog
+
+        decision = policy.decide(LubmGenerator.query_star())
+        policy.record(decision, actual_units=500.0)
+        before = policy.feedback.snapshot()
+        policy.refresh(StatsCatalog.from_graph(lubm_graph, version=1))
+        assert policy.feedback.snapshot() == before
+
+    def test_shared_feedback_can_be_injected(self, lubm_graph):
+        log = FeedbackLog(priors=default_priors(DEFAULT_ENGINE_POOL))
+        log.seed_prior("Naive", "star", 0.001)
+        policy = RoutingPolicy.for_graph(lubm_graph, feedback=log)
+        assert policy.decide(LubmGenerator.query_star()).winner == "Naive"
+
+
+class TestRendering:
+    def test_render_names_every_bid_and_exclusion(self, policy):
+        decision = policy.decide(OPTIONAL_QUERY)
+        text = decision.render()
+        assert text.startswith("routing: shape=linear")
+        assert "<- winner" in text
+        assert "excluded (missing OPTIONAL)" in text
+
+    def test_payload_round_trips_through_json(self, policy):
+        import json
+
+        decision = policy.decide(LubmGenerator.query_snowflake())
+        payload = decision.to_payload()
+        assert json.loads(json.dumps(payload, sort_keys=True)) == payload
+        assert payload["winner"] == "SPARQL-Hybrid"

@@ -1,0 +1,66 @@
+"""The shape-stratified example corpus stays honest about its labels."""
+
+import os
+
+import pytest
+
+from repro.sparql.parser import parse_sparql
+from repro.sparql.shapes import classify_shape
+
+CORPUS = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "queries", "shapes"
+)
+EXPECTED_SHAPES = ("complex", "linear", "single", "snowflake", "star")
+
+
+def corpus_files():
+    out = []
+    for shape in sorted(os.listdir(CORPUS)):
+        shape_dir = os.path.join(CORPUS, shape)
+        if not os.path.isdir(shape_dir):
+            continue
+        for name in sorted(os.listdir(shape_dir)):
+            if name.endswith(".rq"):
+                out.append((shape, os.path.join(shape_dir, name)))
+    return out
+
+
+def test_corpus_covers_every_non_empty_shape():
+    assert tuple(sorted({shape for shape, _ in corpus_files()})) == (
+        EXPECTED_SHAPES
+    )
+    for shape in EXPECTED_SHAPES:
+        assert (
+            sum(1 for s, _ in corpus_files() if s == shape) >= 2
+        ), "at least two examples per shape"
+
+
+@pytest.mark.parametrize(
+    "shape, path",
+    corpus_files(),
+    ids=[os.path.basename(path) for _, path in corpus_files()],
+)
+def test_query_classifies_as_its_directory_claims(shape, path):
+    with open(path, "r", encoding="utf-8") as handle:
+        query = parse_sparql(handle.read())
+    assert classify_shape(query).value == shape
+
+
+@pytest.mark.parametrize(
+    "shape, path",
+    corpus_files(),
+    ids=[os.path.basename(path) for _, path in corpus_files()],
+)
+def test_corpus_queries_are_lint_clean_on_lubm(shape, path, lubm_graph):
+    """Routed service tests admit these under default lint: keep them
+    admissible (known predicates, connected, bound projections)."""
+    from repro.analysis import lint_text
+    from repro.stats import StatsCatalog
+
+    with open(path, "r", encoding="utf-8") as handle:
+        report = lint_text(
+            handle.read(),
+            subject=os.path.basename(path),
+            catalog=StatsCatalog.from_graph(lubm_graph),
+        )
+    assert not report.diagnostics, report.render()

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.server import LoadGenerator, QueryService, build_workload
+from repro.server import (
+    LoadGenerator,
+    QueryService,
+    build_shape_workload,
+    build_workload,
+    shape_tenant_profiles,
+)
 from repro.server.loadgen import percentile
 
 
@@ -190,3 +196,77 @@ class TestClosedLoop:
     def test_rejects_empty_workload(self, lubm_graph):
         with pytest.raises(ValueError):
             LoadGenerator(make_service(lubm_graph), [])
+
+
+class TestShapeMix:
+    def test_shape_workload_labels_are_honest(self, lubm_graph):
+        from repro.sparql.parser import parse_sparql
+        from repro.sparql.shapes import classify_shape
+
+        workload = build_shape_workload(lubm_graph, per_shape=2, seed=42)
+        assert len(workload) == 10
+        for name, text in workload:
+            shape = name.rstrip("0123456789")
+            assert classify_shape(parse_sparql(text)).value == shape
+
+    def test_shape_workload_is_deterministic(self, lubm_graph):
+        first = build_shape_workload(lubm_graph, per_shape=1, seed=7)
+        second = build_shape_workload(lubm_graph, per_shape=1, seed=7)
+        assert first == second
+        assert first != build_shape_workload(lubm_graph, per_shape=1, seed=8)
+
+    def test_tenant_profiles_emphasize_distinct_shapes(self, lubm_graph):
+        workload = build_shape_workload(lubm_graph, per_shape=1, seed=42)
+        profiles = shape_tenant_profiles(workload, tenants=2, emphasis=3)
+        assert set(profiles) == {"tenant0", "tenant1"}
+        for profile in profiles.values():
+            # Every workload query appears; the preferred shape repeats.
+            assert set(profile) == {name for name, _ in workload}
+            assert len(profile) > len(workload)
+        assert profiles["tenant0"] != profiles["tenant1"]
+
+    def test_unknown_profile_names_rejected(self, lubm_graph):
+        workload = build_shape_workload(lubm_graph, per_shape=1, seed=42)
+        with pytest.raises(ValueError):
+            LoadGenerator(
+                make_service(lubm_graph),
+                workload,
+                tenant_profiles={"tenant0": ["nope"]},
+            )
+
+    def test_report_breaks_out_shapes_and_engines(self, lubm_graph):
+        service = make_service(lubm_graph, route=True, pool_size=1)
+        workload = build_shape_workload(lubm_graph, per_shape=1, seed=42)
+        report = LoadGenerator(
+            service,
+            workload,
+            clients=4,
+            tenants=2,
+            requests_per_client=4,
+            think_units=20,
+            seed=42,
+            tenant_profiles=shape_tenant_profiles(workload, 2),
+        ).run()
+        payload = report.to_payload()
+        assert payload["config"]["route"] is True
+        shapes = payload["shapes"]
+        assert shapes and set(shapes) <= {
+            "single", "star", "linear", "snowflake", "complex",
+        }
+        for block in shapes.values():
+            assert {"completed", "ok", "service_units", "latency_units"} <= (
+                set(block)
+            )
+        routing = payload["routing"]
+        assert routing["enabled"] is True
+        assert sum(routing["routed_to"].values()) == (
+            payload["totals"]["completed"]
+        )
+        assert routing["policy"]["decisions"]
+
+    def test_fixed_engine_report_attributes_everything_to_it(
+        self, lubm_graph
+    ):
+        payload = run_load(lubm_graph).to_payload()
+        assert payload["routing"]["enabled"] is False
+        assert list(payload["routing"]["routed_to"]) == ["SPARQLGX"]

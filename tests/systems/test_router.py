@@ -116,3 +116,31 @@ class TestRouterExecution:
         router.execute(LubmGenerator.query_star())
         router.load(watdiv_graph)
         assert router.loaded_engines() == []
+
+
+class TestSharedDefaults:
+    """The static table delegates to repro.routing (single source of truth)."""
+
+    def test_routing_table_derives_from_shared_preferences(self):
+        from repro.routing.defaults import DEFAULT_SHAPE_PREFERENCES
+        from repro.systems.router import DEFAULT_FALLBACKS
+
+        assert {
+            shape: cls.profile.name for shape, cls in DEFAULT_ROUTING.items()
+        } == DEFAULT_SHAPE_PREFERENCES
+        from repro.routing.defaults import DEFAULT_FALLBACK_CHAIN
+
+        assert (
+            tuple(cls.profile.name for cls in DEFAULT_FALLBACKS)
+            == DEFAULT_FALLBACK_CHAIN
+        )
+
+    def test_fragment_fallback_chain_is_pinned(self):
+        """Regression: the fallback order is part of the routing contract
+        -- SPARQLGX (wide fragment) before Naive (full coverage)."""
+        from repro.routing.defaults import DEFAULT_FALLBACK_CHAIN
+
+        assert DEFAULT_FALLBACK_CHAIN == ("SPARQLGX", "Naive")
+        assert tuple(
+            cls.profile.name for cls in ShapeAwareRouter().fallbacks
+        ) == DEFAULT_FALLBACK_CHAIN

@@ -206,3 +206,91 @@ class TestCli:
             ]
         ) == 0
         assert "WRONG" not in capsys.readouterr().out
+
+
+class TestRouteCommand:
+    STAR = (
+        "PREFIX lubm: <http://repro.example.org/lubm#> "
+        "SELECT ?s ?n WHERE { ?s lubm:name ?n . ?s lubm:age ?a }"
+    )
+
+    def test_route_prints_decision(self, data_file, capsys):
+        assert main(["route", data_file, self.STAR]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("routing: shape=star")
+        assert "HAQWA" in out and "<- winner" in out
+
+    def test_route_json_is_deterministic(self, data_file, capsys):
+        import json
+
+        assert main(["route", data_file, self.STAR, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["route", data_file, self.STAR, "--json"]) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["winner"] == "HAQWA"
+
+    def test_route_custom_pool(self, data_file, capsys):
+        assert (
+            main(
+                [
+                    "route", data_file, self.STAR,
+                    "--engine", "SPARQLGX", "--engine", "Naive",
+                ]
+            )
+            == 0
+        )
+        assert "winner=SPARQLGX" in capsys.readouterr().out
+
+    def test_route_unknown_engine_exit_code(self, data_file, capsys):
+        assert (
+            main(["route", data_file, self.STAR, "--engine", "NoSuch"]) == 2
+        )
+
+    def test_explain_route_preamble(self, data_file, capsys):
+        assert (
+            main(
+                [
+                    "explain", data_file, self.STAR,
+                    "--route", "--engine", "SPARQLGX",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "routing: shape=star" in out
+        assert out.index("routing:") < out.index("== SPARQLGX ==")
+
+    def test_route_engines_without_route_is_config_error(
+        self, data_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "explain", data_file, self.STAR,
+                    "--route-engines", "SPARQLGX",
+                ]
+            )
+            == 2
+        )
+        assert "--route-engines requires --route" in (
+            capsys.readouterr().err
+        )
+
+    def test_loadtest_shape_mix_routed(self, data_file, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "loadtest", data_file, "--smoke", "--route",
+                    "--shape-mix", "--report", str(report),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["config"]["route"] is True
+        assert payload["routing"]["enabled"] is True
+        assert payload["shapes"]
