@@ -47,14 +47,30 @@ Commands
     dispatch a query without executing it: its shape, the priced bid of
     every fragment-eligible candidate engine, and the exclusions.  See
     docs/ROUTING.md.
+``validate DATA SHAPES [--remote] [--json] [--report FILE]``
+    Validate an RDF file against a SHACL-lite shapes file (JSON): the
+    shape set compiles to SPARQL target/constraint queries, each
+    submitted to the query service as its own billed request, folded
+    into a byte-deterministic conformance report.  ``--remote`` runs
+    remote-first: harvest the shape-relevant subgraph through the wire
+    protocol, validate the local copy.  Exit 0 when the data conforms,
+    1 when it does not.  See docs/SHACL.md.
+``harvest DATA QUERY [--page-size N] [--output FILE] [--json]``
+    Page a CONSTRUCT query out of an in-process wire endpoint (LIMIT/
+    OFFSET over the protocol's totally-ordered graph wire form) into a
+    local version-tagged subgraph; print the triples or the harvest
+    record.  See docs/FEDERATION.md.
 
 ``serve`` and ``loadtest`` accept ``--route`` (plus ``--route-engines``)
 to replace the fixed ``--engine`` with the adaptive per-shape ensemble:
 each admitted query is dispatched to the engine the calibrated policy
 prices cheapest, and observed cost units feed the calibration back.
 ``explain`` accepts the same pair to prepend the ``routing:`` decision
-block.  ``loadtest --shape-mix`` swaps the uniform workload for the
-shape-stratified one (plus per-tenant shape emphasis).
+block, and ``--shapes FILE`` to prepend the ``shacl:`` compiled-query
+inventory.  ``loadtest --shape-mix`` swaps the uniform workload for the
+shape-stratified one (plus per-tenant shape emphasis);
+``loadtest --workload {uniform,shape,shacl,federated}`` also offers the
+validation fan-out and paged-harvest workload families.
 
 ``query``, ``explain``, ``serve`` and ``loadtest`` accept ``--optimize``
 (plus ``--optimizer-mode`` and ``--broadcast-threshold``) to run BGPs
@@ -70,11 +86,12 @@ substitute materialized ExtVP views into the plans.  ``serve`` and
 pool while keeping every result byte-identical to the in-process
 oracle.
 
-Exit codes (the full table lives in README.md): 0 success / clean lint;
-1 failed ``assess``/``claims`` checks; 2 unusable inputs (bad
-``--faults`` spec, unknown engine, unreadable data/query/stats file);
-3 when a fault schedule exhausts ``--max-task-attempts``; 4 lint found
-warnings only; 5 lint found errors.
+Exit codes (the full table lives in README.md): 0 success / clean lint
+/ conformant ``validate``; 1 failed ``assess``/``claims`` checks or a
+non-conformant ``validate``; 2 unusable inputs (bad ``--faults`` spec,
+unknown engine, unreadable data/query/stats/shapes file); 3 when a
+fault schedule exhausts ``--max-task-attempts``; 4 lint found warnings
+only; 5 lint found errors.
 """
 
 from __future__ import annotations
@@ -101,6 +118,7 @@ from repro.runtime import (
     load_graph,
     resolve_engine,
 )
+from repro.shacl.shapes import ShaclError
 from repro.spark.faults import FaultSpecError, TaskFailedError
 from repro.spark.parallel import BackendConfigError
 from repro.sparql.results import SolutionSet
@@ -247,6 +265,7 @@ def cmd_explain(args) -> int:
     _check_route_flags(args)
     graph = load_graph(args.data)
     query_text = _read_query_arg(args.query)
+    shapes = _load_shapes_arg(args.shapes) if args.shapes else None
     engines = [
         _engine_class(name)
         for name in (args.engine or list(DEFAULT_EXPLAIN_ENGINES))
@@ -264,8 +283,80 @@ def cmd_explain(args) -> int:
             view_threshold=args.view_threshold,
             route=args.route,
             route_engines=args.route_engines or None,
+            shapes=shapes,
         )
     )
+    return 0
+
+
+def _load_shapes_arg(path: str):
+    """Load a shapes file (ShaclError -> exit 2, like other bad inputs)."""
+    from repro.shacl import load_shapes_file
+
+    return load_shapes_file(path)
+
+
+def cmd_validate(args) -> int:
+    from repro.shacl import ShaclValidator, ServiceExecutor
+
+    shapes = _load_shapes_arg(args.shapes)
+    if args.remote:
+        from repro.federation import WireEndpoint, validate_remote_first
+
+        endpoint = WireEndpoint(_build_service(args))
+        report, subgraph = validate_remote_first(
+            endpoint, shapes, page_size=args.page_size
+        )
+    else:
+        service = _build_service(args)
+        report = ShaclValidator(ServiceExecutor(service)).validate(shapes)
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print("report written to %s" % args.report)
+    return 0 if report.conforms else 1
+
+
+def cmd_harvest(args) -> int:
+    from repro.federation import HarvestError, Subgraph, WireEndpoint
+
+    endpoint = WireEndpoint(_build_service(args))
+    subgraph = Subgraph(endpoint, page_size=args.page_size)
+    query_text = _read_query_arg(args.query)
+    try:
+        record = subgraph.harvest(query_text, id="cli")
+    except ValueError as exc:
+        raise RuntimeConfigError(str(exc))
+    except HarvestError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(record.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(
+            "harvested %d triple(s) (%d new) in %d page(s) of %d "
+            "at remote version %d (%d remote unit(s))"
+            % (
+                record.triples,
+                record.new_triples,
+                record.pages,
+                subgraph.page_size,
+                record.remote_version,
+                record.units,
+            )
+        )
+    if args.output:
+        written = save_ntriples_file(args.output, subgraph.head())
+        print("wrote %d triple(s) to %s" % (written, args.output))
+    elif not args.json:
+        for line in sorted(t.n3() for t in subgraph.head().to_list()):
+            print(line)
     return 0
 
 
@@ -481,28 +572,42 @@ def cmd_serve(args) -> int:
 def cmd_loadtest(args) -> int:
     from repro.server import (
         LoadGenerator,
+        build_federated_workload,
+        build_shacl_workload,
         build_shape_workload,
         build_workload,
+        grouped_tenant_profiles,
         shape_tenant_profiles,
     )
 
+    workload_kind = args.workload
+    if args.shape_mix:
+        if args.workload != "uniform":
+            raise RuntimeConfigError(
+                "--shape-mix conflicts with --workload; "
+                "use --workload shape instead"
+            )
+        workload_kind = "shape"
     if args.smoke:
         args.clients = min(args.clients, 4)
         args.requests = min(args.requests, 2)
         args.queries = min(args.queries, 4)
     service = _build_service(args)
+    graph = service.versions.head()
     profiles = None
-    if args.shape_mix:
+    if workload_kind == "shape":
         workload = build_shape_workload(
-            service.versions.head(),
-            per_shape=max(1, args.queries // 5),
-            seed=args.seed,
+            graph, per_shape=max(1, args.queries // 5), seed=args.seed
         )
         profiles = shape_tenant_profiles(workload, args.tenants)
+    elif workload_kind == "shacl":
+        workload = build_shacl_workload(graph, seed=args.seed)
+        profiles = grouped_tenant_profiles(workload, args.tenants)
+    elif workload_kind == "federated":
+        workload = build_federated_workload(graph, seed=args.seed)
+        profiles = grouped_tenant_profiles(workload, args.tenants)
     else:
-        workload = build_workload(
-            service.versions.head(), size=args.queries, seed=args.seed
-        )
+        workload = build_workload(graph, size=args.queries, seed=args.seed)
     generator = LoadGenerator(
         service,
         workload,
@@ -531,6 +636,15 @@ def cmd_loadtest(args) -> int:
         ["max queue depth", payload["queue"]["max_depth"]],
     ]
     print(format_table(["metric", "value"], rows))
+    if payload["totals"]["rejected"]:
+        print(
+            "queue rejections by tenant: "
+            + ", ".join(
+                "%s=%d" % (tenant, entry["queue_rejected"])
+                for tenant, entry in sorted(payload["tenants"].items())
+                if entry["queue_rejected"]
+            )
+        )
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
@@ -743,6 +857,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine to explain (repeatable; default: SPARQLGX, S2RDF, HAQWA)",
     )
     explain.add_argument("--parallelism", type=int, default=4)
+    explain.add_argument(
+        "--shapes",
+        metavar="FILE",
+        help="SHACL-lite shapes file (JSON); prepends a 'shacl:' block "
+        "inventorying the shape set's compiled validation queries and "
+        "marking the explained query if it is one of them",
+    )
     _add_optimizer_arguments(explain)
     _add_routing_arguments(explain)
 
@@ -947,7 +1068,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="drive the shape-stratified workload (one batch of queries "
         "per shape) with per-tenant shape emphasis instead of the "
-        "uniform workload",
+        "uniform workload (shorthand for --workload shape)",
+    )
+    loadtest.add_argument(
+        "--workload",
+        choices=["uniform", "shape", "shacl", "federated"],
+        default="uniform",
+        help="workload family: 'uniform' draws --queries mixed queries; "
+        "'shape' is the shape-stratified mix; 'shacl' replays a "
+        "validation fan-out (compiled shape queries + class probes); "
+        "'federated' replays a harvester's paged CONSTRUCT pages "
+        "(default uniform)",
     )
     _add_service_arguments(loadtest)
     _add_routing_arguments(loadtest)
@@ -955,7 +1086,91 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(loadtest)
     _add_backend_arguments(loadtest)
 
+    from repro.federation import DEFAULT_PAGE_SIZE
+
+    validate = sub.add_parser(
+        "validate",
+        help="validate an RDF file against a SHACL-lite shapes file "
+        "(see docs/SHACL.md)",
+    )
+    validate.add_argument("data", help="RDF file (.nt or .ttl)")
+    validate.add_argument(
+        "shapes", help="SHACL-lite shapes file (JSON; see docs/SHACL.md)"
+    )
+    validate.add_argument(
+        "--remote",
+        action="store_true",
+        help="remote-first: pair the data behind an in-process wire "
+        "endpoint, harvest the shape-relevant subgraph page by page, "
+        "and validate the local copy (see docs/FEDERATION.md)",
+    )
+    validate.add_argument(
+        "--page-size",
+        type=_positive_int,
+        default=DEFAULT_PAGE_SIZE,
+        metavar="N",
+        help="triples per harvested CONSTRUCT page under --remote "
+        "(default %d)" % DEFAULT_PAGE_SIZE,
+    )
+    validate.add_argument(
+        "--json",
+        action="store_true",
+        help="print the byte-deterministic report JSON instead of text",
+    )
+    validate.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the report JSON to FILE",
+    )
+    _add_service_arguments(validate)
+    _add_routing_arguments(validate)
+    _add_optimizer_arguments(validate)
+    _add_fault_arguments(validate)
+    _add_backend_arguments(validate)
+
+    harvest = sub.add_parser(
+        "harvest",
+        help="page a CONSTRUCT query out of a paired wire endpoint into "
+        "a local subgraph (see docs/FEDERATION.md)",
+    )
+    harvest.add_argument("data", help="RDF file (.nt or .ttl)")
+    harvest.add_argument(
+        "query", help="CONSTRUCT query file or literal query text"
+    )
+    harvest.add_argument(
+        "--page-size",
+        type=_positive_int,
+        default=DEFAULT_PAGE_SIZE,
+        metavar="N",
+        help="triples per CONSTRUCT page (default %d)" % DEFAULT_PAGE_SIZE,
+    )
+    harvest.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the harvested triples as N-Triples to FILE "
+        "(default: print them)",
+    )
+    harvest.add_argument(
+        "--json",
+        action="store_true",
+        help="print the harvest record (pages, triples, version, units) "
+        "as deterministic JSON instead of the triples",
+    )
+    _add_service_arguments(harvest)
+    _add_routing_arguments(harvest)
+    _add_optimizer_arguments(harvest)
+    _add_fault_arguments(harvest)
+    _add_backend_arguments(harvest)
+
     return parser
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: a strictly positive integer."""
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
 
 
 def _positive_units(value: str) -> int:
@@ -1034,9 +1249,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": cmd_stats,
         "lint": cmd_lint,
         "views": cmd_views,
+        "validate": cmd_validate,
+        "harvest": cmd_harvest,
     }
     try:
         return handlers[args.command](args)
+    except ShaclError as exc:
+        print("error: bad shapes file: %s" % exc, file=sys.stderr)
+        return 2
     except FaultSpecError as exc:
         print("error: invalid --faults spec: %s" % exc, file=sys.stderr)
         return 2

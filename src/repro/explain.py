@@ -173,6 +173,7 @@ def explain(
     view_threshold: Optional[float] = None,
     route: bool = False,
     route_engines: Optional[Sequence[str]] = None,
+    shapes=None,
 ) -> str:
     """Side-by-side per-operator cost trees for *query* on *engines*.
 
@@ -184,11 +185,14 @@ def explain(
     the plan substitutes and why.  With ``route=True`` a ``routing:``
     block shows where a fresh adaptive :class:`repro.routing.RoutingPolicy`
     over *route_engines* would dispatch the query and at what priced
-    bids.
+    bids.  With a :class:`~repro.shacl.shapes.ShapeSet` in ``shapes``, a
+    ``shacl:`` block inventories the shape set's compiled validation
+    queries and marks the one being explained (if any), placing the
+    query inside the validation fan-out it belongs to.
 
-    Preamble blocks (lint findings, routing decision, view
-    substitutions) render above the per-engine sections in **sorted key
-    order** -- the order is a stable function of which blocks are
+    Preamble blocks (lint findings, routing decision, shacl inventory,
+    view substitutions) render above the per-engine sections in **sorted
+    key order** -- the order is a stable function of which blocks are
     non-empty, never of feature flags or evaluation order (pinned by
     ``tests/test_explain.py``).
     """
@@ -222,6 +226,7 @@ def explain(
             route,
             route_engines,
         ),
+        "shacl": _shacl_section(query, shapes),
         "views": _views_section(query, optimizer),
     }
     sections: List[str] = [
@@ -317,6 +322,35 @@ def _routing_section(
         catalog=optimizer.catalog if optimizer is not None else None,
     )
     return policy.decide(query).render()
+
+
+def _shacl_section(query: Query, shapes) -> str:
+    """The shape-inventory preamble of an EXPLAIN, empty without shapes.
+
+    Lists every compiled validation query of the shape set (class probes
+    are value-dependent and generated during validation, so they cannot
+    be inventoried statically) and marks the one whose parsed form
+    equals the explained query -- placing the query inside the
+    validation fan-out it belongs to.
+    """
+    if shapes is None:
+        return ""
+    from repro.shacl.compile import compile_shape_set
+
+    compiled = compile_shape_set(shapes)
+    lines = [
+        "shacl: %d shape(s) compiling to %d validation queries "
+        "(+ per-value class probes at run time)"
+        % (len(shapes), len(compiled))
+    ]
+    for item in compiled:
+        marker = (
+            "  <- the explained query"
+            if parse_sparql(item.text) == query
+            else ""
+        )
+        lines.append("  %s [%s]%s" % (item.id, item.kind, marker))
+    return "\n".join(lines)
 
 
 def _views_section(query: Query, optimizer) -> str:

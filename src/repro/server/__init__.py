@@ -16,8 +16,11 @@ from repro.server.loadgen import (
     LoadGenerator,
     LoadReport,
     SHAPE_NAMES,
+    build_federated_workload,
+    build_shacl_workload,
     build_shape_workload,
     build_workload,
+    grouped_tenant_profiles,
     percentile,
     shape_tenant_profiles,
 )
@@ -50,8 +53,11 @@ __all__ = [
     "QueryService",
     "ResultCache",
     "SHAPE_NAMES",
+    "build_federated_workload",
+    "build_shacl_workload",
     "build_shape_workload",
     "build_workload",
+    "grouped_tenant_profiles",
     "canonical_json",
     "canonical_result",
     "decode_request",

@@ -43,7 +43,25 @@ from repro.server.admission import AdmissionRejectedError
 from repro.server.service import QueryOutcome, QueryRequest, QueryService
 
 #: Report format version (bumped on incompatible layout changes).
-REPORT_FORMAT_VERSION = 1
+#: 2: per-tenant entries grew the full outcome breakdown (submitted,
+#: ok, queue_rejected, lint_rejected, deadline_aborts, errors); the old
+#: ambiguous per-tenant "rejected" is now "queue_rejected".
+REPORT_FORMAT_VERSION = 2
+
+
+#: The per-tenant counter template: every tenant entry carries the full
+#: outcome breakdown, so per-tenant admission-queue rejections are
+#: directly readable off the report (not inferable from totals).
+TENANT_COUNTERS = (
+    "submitted",
+    "completed",
+    "ok",
+    "service_units",
+    "queue_rejected",
+    "lint_rejected",
+    "deadline_aborts",
+    "errors",
+)
 
 
 def percentile(values: Sequence[int], p: float) -> int:
@@ -405,6 +423,146 @@ def shape_tenant_profiles(
     return profiles
 
 
+def build_shacl_workload(
+    graph,
+    seed: int = 42,
+    max_classes: int = 3,
+    max_properties: int = 2,
+    probes: int = 4,
+) -> List[Tuple[str, str]]:
+    """A validation-shaped (name, query) workload drawn from *graph*.
+
+    Exactly the queries a :class:`~repro.shacl.validator.ShaclValidator`
+    would fan out for :func:`~repro.shacl.shapes.default_shapes_for`
+    shapes -- target SELECTs and per-property value SELECTs -- plus a
+    seeded draw of ``ASK`` class-membership probes over the graph's own
+    ``rdf:type`` triples.  Names are the compiled-query ids (so the
+    report's workload list reads as a validation trace) and ``probe<i>``.
+    """
+    from repro.rdf.vocab import RDF
+    from repro.shacl.compile import compile_shape_set
+    from repro.shacl.shapes import default_shapes_for
+
+    shapes = default_shapes_for(
+        graph, max_classes=max_classes, max_properties=max_properties
+    )
+    workload: List[Tuple[str, str]] = [
+        (compiled.id, compiled.text)
+        for compiled in compile_shape_set(shapes)
+    ]
+    typed = sorted(
+        (
+            (t.subject.n3(), t.object.n3())
+            for t in graph.triples((None, RDF.type, None))
+        ),
+    )
+    rng = random.Random(seed)
+    for index in range(min(probes, len(typed))):
+        subject, class_ = typed[rng.randrange(len(typed))]
+        workload.append(
+            (
+                "probe%d" % index,
+                "ASK { %s %s %s }" % (subject, RDF.type.n3(), class_),
+            )
+        )
+    return workload
+
+
+def build_federated_workload(
+    graph,
+    seed: int = 42,
+    predicates: int = 3,
+    pages: int = 3,
+    page_size: int = 8,
+) -> List[Tuple[str, str]]:
+    """A harvester-shaped workload: paged CONSTRUCT queries.
+
+    One CONSTRUCT family per top predicate (by triple count), each
+    split into ``pages`` consecutive ``LIMIT page_size OFFSET n`` pages
+    -- exactly the requests a :class:`~repro.federation.Subgraph` issues,
+    exercising the protocol's stable-paging path under load.  Pages of
+    one family share a normalized *where* clause but differ in their
+    slice, so plan caching across them is the interesting signal.
+    """
+    if predicates <= 0 or pages <= 0 or page_size <= 0:
+        raise ValueError("predicates, pages, and page_size must be positive")
+    counts: Dict[Any, int] = {}
+    for triple in graph:
+        counts[triple.predicate] = counts.get(triple.predicate, 0) + 1
+    if not counts:
+        raise ValueError("graph has no triples to build a workload from")
+    ranked = sorted(counts, key=lambda p: (-counts[p], p.n3()))
+    rng = random.Random(seed)
+    chosen = ranked[:predicates]
+    if len(ranked) > predicates:
+        # Seeded jitter: swap one slot with a random lower-ranked
+        # predicate so differently-seeded runs stress different families.
+        slot = rng.randrange(len(chosen))
+        chosen[slot] = ranked[predicates + rng.randrange(
+            len(ranked) - predicates
+        )]
+    workload: List[Tuple[str, str]] = []
+    for index, predicate in enumerate(chosen):
+        for page in range(pages):
+            workload.append(
+                (
+                    "harvest%dp%d" % (index, page),
+                    "CONSTRUCT { ?s %s ?o } WHERE { ?s %s ?o } "
+                    "LIMIT %d OFFSET %d"
+                    % (
+                        predicate.n3(),
+                        predicate.n3(),
+                        page_size,
+                        page * page_size,
+                    ),
+                )
+            )
+    return workload
+
+
+def grouped_tenant_profiles(
+    workload: Sequence[Tuple[str, str]],
+    tenants: int,
+    emphasis: int = 3,
+) -> Dict[str, List[str]]:
+    """Tenant profiles over a grouped workload (shacl / federated).
+
+    Queries group by family -- the shape name for compiled validation
+    queries (``shacl/<shape>/...``), the harvest family for paged
+    CONSTRUCTs (``harvest<i>p<j>``), the literal prefix otherwise --
+    and tenant *i* sees its preferred family ``emphasis`` times as
+    often, mirroring :func:`shape_tenant_profiles` for the validation
+    and harvesting workloads.
+    """
+    if tenants <= 0:
+        raise ValueError("tenants must be positive")
+
+    def group_of(name: str) -> str:
+        if name.startswith("shacl/"):
+            return name.split("/")[1]
+        if name.startswith("harvest") and "p" in name:
+            return name.split("p")[0]
+        return name.rstrip("0123456789")
+
+    groups: List[str] = []
+    by_group: Dict[str, List[str]] = {}
+    for name, _text in workload:
+        group = group_of(name)
+        if group not in by_group:
+            groups.append(group)
+            by_group[group] = []
+        by_group[group].append(name)
+    profiles: Dict[str, List[str]] = {}
+    for tenant in range(tenants):
+        preferred = groups[tenant % len(groups)]
+        profile = by_group[preferred] * emphasis
+        for group in groups:
+            if group != preferred:
+                profile.extend(by_group[group])
+        profiles["tenant%d" % tenant] = profile
+    return profiles
+
+
 @dataclass(frozen=True)
 class _Arrival:
     """One in-flight submission (queue entry payload)."""
@@ -513,6 +671,11 @@ class LoadGenerator:
                 deadline=self.deadline,
             )
 
+        def tenant_entry(tenant: str) -> Dict[str, int]:
+            return report.per_tenant.setdefault(
+                tenant, {key: 0 for key in TENANT_COUNTERS}
+            )
+
         def record(outcome: QueryOutcome, arrival: _Arrival, now: int) -> None:
             # *now* is the completion timestamp, so it already spans both
             # the queue wait and the service time.
@@ -520,10 +683,7 @@ class LoadGenerator:
             report.completed += 1
             report.latencies.append(latency)
             report.waits.append(outcome.wait_units)
-            tenant = report.per_tenant.setdefault(
-                outcome.tenant,
-                {"completed": 0, "service_units": 0, "rejected": 0},
-            )
+            tenant = tenant_entry(outcome.tenant)
             tenant["completed"] += 1
             tenant["service_units"] += outcome.service_units
             shape = outcome.shape or "unknown"
@@ -538,14 +698,18 @@ class LoadGenerator:
             if outcome.status == "ok":
                 per_shape["ok"] += 1
                 report.ok += 1
+                tenant["ok"] += 1
             elif outcome.status == "rejected":
                 # Static lint rejection: counted apart from queue
                 # rejections (report.rejected), which never execute.
                 report.lint_rejected += 1
+                tenant["lint_rejected"] += 1
             elif outcome.status == "deadline":
                 report.deadline_aborts += 1
+                tenant["deadline_aborts"] += 1
             else:
                 report.errors += 1
+                tenant["errors"] += 1
 
         def dispatch(arrival: _Arrival, worker: int, now: int) -> None:
             outcome = self.service.execute_on(arrival.request, worker)
@@ -573,6 +737,7 @@ class LoadGenerator:
             if kind == "arrival":
                 client, request = data
                 report.submitted += 1
+                tenant_entry(request.tenant)["submitted"] += 1
                 arrival = _Arrival(request, client, now)
                 if free_workers:
                     worker = free_workers.pop(0)
@@ -588,15 +753,7 @@ class LoadGenerator:
                     except AdmissionRejectedError:
                         self.service.metrics.record_admission(False)
                         report.rejected += 1
-                        tenant = report.per_tenant.setdefault(
-                            request.tenant,
-                            {
-                                "completed": 0,
-                                "service_units": 0,
-                                "rejected": 0,
-                            },
-                        )
-                        tenant["rejected"] += 1
+                        tenant_entry(request.tenant)["queue_rejected"] += 1
                         # The client backs off and moves to its next
                         # request (the rejected one is lost, as reported).
                         nxt = next_request(client)

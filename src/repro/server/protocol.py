@@ -26,6 +26,23 @@ the service boundary:
   cold executions of the *same* engine).
 * **ASK**: a boolean; nothing to order.
 
+Stable paging (the federated-harvest contract)
+==============================================
+
+Because CONSTRUCT/DESCRIBE wire forms are *totally ordered* (sorted
+N-Triples lines), a ``CONSTRUCT ... LIMIT n OFFSET m`` slices that
+sorted list **after** the sort: at a fixed graph version, pages taken at
+successive offsets are disjoint and exhaustive, and concatenating them
+reassembles the unpaged form byte-identically (regression-tested in
+``tests/server/test_protocol.py``).  Paged graph payloads additionally
+carry a ``page`` object -- ``{"limit", "offset", "total"}`` where
+``total`` is the full pre-slice triple count -- so a harvester
+(:mod:`repro.federation`) knows when it has drained the result without
+issuing a trailing empty page.  Unpaged graph payloads are unchanged
+(no ``page`` key).  The slice happens here at the serialization
+boundary, never in the engines, so every engine -- BGP-only profiles
+included -- serves identical pages.
+
 :func:`canonical_json` renders any payload with sorted keys, compact
 separators, and no trailing whitespace -- the exact bytes the result
 cache stores, so a cache hit is byte-identical to the cold execution
@@ -59,7 +76,7 @@ import json
 from typing import Any, Dict, List, Optional, Union
 
 from repro.rdf.graph import RDFGraph
-from repro.sparql.ast import Query, SelectQuery
+from repro.sparql.ast import ConstructQuery, Query, SelectQuery
 from repro.sparql.results import SolutionSet
 
 #: Bumped when the canonical result layout changes incompatibly.
@@ -109,11 +126,26 @@ def canonical_result(
             "rows": rows,
             "ordered": ordered,
         }
-    # CONSTRUCT / DESCRIBE -> a graph; N-Triples lines, sorted.
-    return {
-        "type": "graph",
-        "triples": sorted(triple.n3() for triple in result.to_list()),
-    }
+    # CONSTRUCT / DESCRIBE -> a graph; N-Triples lines, sorted.  The
+    # sort is total, which is what makes LIMIT/OFFSET paging stable
+    # (see the module docstring): slice *after* sorting, and report the
+    # pre-slice total so harvesters can detect the last page.
+    triples = sorted(triple.n3() for triple in result.to_list())
+    payload: Dict[str, Any] = {"type": "graph", "triples": triples}
+    if isinstance(query, ConstructQuery) and (
+        query.limit is not None or query.offset
+    ):
+        total = len(triples)
+        page = triples[query.offset:]
+        if query.limit is not None:
+            page = page[: query.limit]
+        payload["triples"] = page
+        payload["page"] = {
+            "limit": query.limit,
+            "offset": query.offset,
+            "total": total,
+        }
+    return payload
 
 
 def decode_request(line: str) -> Dict[str, Any]:

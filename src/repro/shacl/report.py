@@ -1,0 +1,102 @@
+"""The byte-deterministic validation report.
+
+The report body (:meth:`ValidationReport.to_payload`) is a pure function
+of the shape set and the graph *content*: it never mentions the engine,
+the executor, cache states, or cost units, so validating the same graph
+through SPARQLGX, S2RDF, a routed service, or a harvested local subgraph
+produces **identical bytes** (the acceptance property
+``tests/shacl/test_validator.py`` pins across engines).
+
+Execution accounting -- per-query billing, cache tiers, service units --
+is deliberately carried *next to* the report (:attr:`accounting`), not
+inside it: billing is a property of where the queries ran.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Bumped on incompatible report-layout changes.
+REPORT_FORMAT_VERSION = 1
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated per-focus-node conformance for one shape set."""
+
+    conforms: bool = True
+    #: Per-shape summaries keyed by shape name:
+    #: ``{"focus_nodes": n, "violations": m}``.
+    per_shape: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Sorted violation records (shape, focus, path, constraint, value,
+    #: message) -- the deterministic heart of the report.
+    violations: List[Dict[str, str]] = field(default_factory=list)
+    #: Compiled queries executed (target + values + class probes).
+    queries: int = 0
+    #: Execution accounting (engine label, units, cache tiers, per-query
+    #: records).  NOT part of :meth:`to_payload` -- see module docstring.
+    accounting: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def focus_nodes(self) -> int:
+        return sum(
+            entry["focus_nodes"] for entry in self.per_shape.values()
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical, executor-independent report body."""
+        return {
+            "version": REPORT_FORMAT_VERSION,
+            "conforms": self.conforms,
+            "shapes": len(self.per_shape),
+            "focus_nodes": self.focus_nodes,
+            "queries": self.queries,
+            "per_shape": {
+                name: dict(entry)
+                for name, entry in sorted(self.per_shape.items())
+            },
+            "violations": [dict(v) for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        """Pretty, byte-stable JSON of the report body."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """Human-readable text (the CLI's default output)."""
+        lines = [
+            "conforms: %s" % ("yes" if self.conforms else "NO"),
+            "shapes: %d, focus nodes: %d, compiled queries: %d"
+            % (len(self.per_shape), self.focus_nodes, self.queries),
+        ]
+        for name, entry in sorted(self.per_shape.items()):
+            lines.append(
+                "  %s: %d focus node(s), %d violation(s)"
+                % (name, entry["focus_nodes"], entry["violations"])
+            )
+        for violation in self.violations:
+            value = violation.get("value", "")
+            lines.append(
+                "violation: [%s] %s %s %s%s"
+                % (
+                    violation["shape"],
+                    violation["focus"],
+                    violation["constraint"],
+                    violation["message"],
+                    (" (value %s)" % value) if value else "",
+                )
+            )
+        accounting = self.accounting
+        if accounting:
+            lines.append(
+                "executed via %s: %d unit(s), cache hits %d/%d"
+                % (
+                    accounting.get("executor", "?"),
+                    accounting.get("units", 0),
+                    accounting.get("cache_hits", 0),
+                    accounting.get("executed", 0),
+                )
+            )
+        return "\n".join(lines)

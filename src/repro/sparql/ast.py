@@ -219,10 +219,20 @@ class ConstructQuery:
     *template* triples are instantiated once per solution of *where*;
     instantiations with unbound variables or invalid positions (literal
     subject etc.) are skipped, per the SPARQL specification.
+
+    ``limit``/``offset`` page the *constructed graph*, not the WHERE
+    solutions: the wire protocol sorts the instantiated triples into
+    their canonical N-Triples order and slices that total order, so
+    pages at a fixed graph version are disjoint and exhaustive
+    (docs/FEDERATION.md; the federated harvester depends on this).
+    Engines never see the slice -- it is applied at the serialization
+    boundary (:func:`repro.server.protocol.canonical_result`).
     """
 
     template: List[TriplePattern]
     where: GroupGraphPattern
+    limit: Optional[int] = None
+    offset: int = 0
 
 
 @dataclass

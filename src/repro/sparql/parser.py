@@ -97,7 +97,18 @@ class _Parser:
         if not template:
             raise SparqlParseError("empty CONSTRUCT template")
         self.stream.accept("keyword", "WHERE")
-        return ConstructQuery(template, self._parse_group())
+        where = self._parse_group()
+        # LIMIT and OFFSET may come in either order; they page the
+        # *sorted constructed graph* at the protocol layer (the engines
+        # build the full graph -- see ConstructQuery's docstring).
+        limit: Optional[int] = None
+        offset = 0
+        for _attempt in range(2):
+            if self.stream.accept("keyword", "LIMIT"):
+                limit = int(self.stream.expect("integer").value)
+            elif self.stream.accept("keyword", "OFFSET"):
+                offset = int(self.stream.expect("integer").value)
+        return ConstructQuery(template, where, limit=limit, offset=offset)
 
     def _parse_describe(self) -> DescribeQuery:
         self.stream.expect("keyword", "DESCRIBE")

@@ -178,7 +178,7 @@ class TestClosedLoop:
 
     def test_report_payload_shape(self, lubm_graph):
         payload = run_load(lubm_graph).to_payload()
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         for key in (
             "config",
             "totals",
@@ -270,3 +270,143 @@ class TestShapeMix:
         payload = run_load(lubm_graph).to_payload()
         assert payload["routing"]["enabled"] is False
         assert list(payload["routing"]["routed_to"]) == ["SPARQLGX"]
+
+
+class TestShaclWorkload:
+    def test_compiled_ids_plus_probes(self, lubm_graph):
+        from repro.server import build_shacl_workload
+        from repro.shacl import compile_shape_set, default_shapes_for
+
+        workload = build_shacl_workload(lubm_graph, seed=42)
+        names = [name for name, _ in workload]
+        compiled_ids = [
+            c.id
+            for c in compile_shape_set(default_shapes_for(lubm_graph))
+        ]
+        assert names[: len(compiled_ids)] == compiled_ids
+        probes = names[len(compiled_ids):]
+        assert probes == ["probe%d" % i for i in range(len(probes))]
+        assert probes  # the bursty ASK tail is present
+
+    def test_deterministic_and_answerable(self, lubm_graph):
+        from repro.server import build_shacl_workload
+        from repro.sparql.algebra import evaluate
+        from repro.sparql.parser import parse_sparql
+
+        first = build_shacl_workload(lubm_graph, seed=42)
+        assert first == build_shacl_workload(lubm_graph, seed=42)
+        assert first != build_shacl_workload(lubm_graph, seed=43)
+        for _name, text in first:
+            evaluate(parse_sparql(text), lubm_graph)  # parses + evaluates
+
+    def test_loadtest_plan_cache_warm_on_second_pass(self, lubm_graph):
+        """The BENCH_shacl acceptance property at the loadgen level:
+        replaying the shacl workload against a warm service answers
+        (mostly) from cache."""
+        from repro.server import build_shacl_workload
+
+        service = make_service(lubm_graph, enable_result_cache=False)
+        workload = build_shacl_workload(lubm_graph, seed=42)
+        kwargs = dict(
+            clients=2,
+            tenants=1,
+            requests_per_client=len(workload),
+            think_units=0,
+            seed=42,
+        )
+        LoadGenerator(service, workload, **kwargs).run()
+        counters = service.stats()["counters"]
+        hits = counters.get("plan_cache_hits", 0)
+        misses = counters.get("plan_cache_misses", 0)
+        assert hits / (hits + misses) > 0.5
+
+
+class TestFederatedWorkload:
+    def test_paged_construct_requests(self, lubm_graph):
+        from repro.server import build_federated_workload
+        from repro.sparql.ast import ConstructQuery
+        from repro.sparql.parser import parse_sparql
+
+        workload = build_federated_workload(
+            lubm_graph, seed=42, predicates=3, pages=3
+        )
+        assert len(workload) == 9
+        for name, text in workload:
+            assert name.startswith("harvest")
+            plan = parse_sparql(text)
+            assert isinstance(plan, ConstructQuery)
+            assert plan.limit is not None
+
+    def test_deterministic(self, lubm_graph):
+        from repro.server import build_federated_workload
+
+        assert build_federated_workload(
+            lubm_graph, seed=5
+        ) == build_federated_workload(lubm_graph, seed=5)
+
+    def test_workload_completes_through_the_service(self, lubm_graph):
+        from repro.server import build_federated_workload
+
+        workload = build_federated_workload(lubm_graph, seed=42)
+        report = LoadGenerator(
+            make_service(lubm_graph),
+            workload,
+            clients=2,
+            tenants=2,
+            requests_per_client=4,
+            think_units=10,
+            seed=42,
+        ).run()
+        assert report.ok == report.completed > 0
+
+
+class TestGroupedProfiles:
+    def test_each_tenant_emphasizes_a_distinct_group(self, lubm_graph):
+        from repro.server import build_shacl_workload, grouped_tenant_profiles
+
+        workload = build_shacl_workload(lubm_graph, seed=42)
+        profiles = grouped_tenant_profiles(workload, tenants=3, emphasis=3)
+        assert set(profiles) == {"tenant0", "tenant1", "tenant2"}
+        for profile in profiles.values():
+            assert set(profile) == {name for name, _ in workload}
+        assert len({tuple(p) for p in profiles.values()}) == 3
+
+
+class TestPerTenantRejections:
+    def test_queue_rejections_break_out_by_tenant(self, lubm_graph):
+        report = run_load(
+            lubm_graph,
+            service_kwargs={
+                "pool_size": 1,
+                "queue_limit": 1,
+                "enable_result_cache": False,
+            },
+            clients=8,
+            tenants=2,
+            think_units=0,
+        )
+        assert report.rejected > 0
+        per_tenant = report.to_payload()["tenants"]
+        assert sum(
+            entry["queue_rejected"] for entry in per_tenant.values()
+        ) == report.rejected
+        for entry in per_tenant.values():
+            assert set(entry) >= {
+                "submitted",
+                "completed",
+                "ok",
+                "service_units",
+                "queue_rejected",
+                "lint_rejected",
+                "deadline_aborts",
+                "errors",
+            }
+            assert entry["submitted"] == (
+                entry["completed"] + entry["queue_rejected"]
+            )
+
+    def test_no_pressure_no_rejections(self, lubm_graph):
+        per_tenant = run_load(lubm_graph).to_payload()["tenants"]
+        assert all(
+            entry["queue_rejected"] == 0 for entry in per_tenant.values()
+        )

@@ -129,3 +129,82 @@ class TestRequestDecoding:
             encode_response({"status": "ok", "id": "x"})
             == '{"id":"x","status":"ok"}'
         )
+
+
+class TestStablePaging:
+    """The stable-paging contract for CONSTRUCT wire forms.
+
+    Graph payloads are totally ordered (sorted N-Triples lines) and
+    LIMIT/OFFSET slicing happens *after* the sort, at this layer only:
+    at a fixed graph version, pages are disjoint, exhaustive, and
+    reassemble the unpaged payload byte-identically.  The federation
+    harvester's exactness rests on this class.
+    """
+
+    CONSTRUCT = (
+        "PREFIX lubm: <http://repro.example.org/lubm#>\n"
+        "CONSTRUCT { ?s lubm:advisor ?o } WHERE { ?s lubm:advisor ?o }"
+    )
+
+    def _unpaged(self, lubm_graph):
+        engine = build_engine("Naive", lubm_graph)
+        plan = parse_sparql(self.CONSTRUCT)
+        return canonical_result(engine.execute(plan), plan)
+
+    def _page(self, lubm_graph, limit, offset):
+        text = "%s LIMIT %d OFFSET %d" % (self.CONSTRUCT, limit, offset)
+        engine = build_engine("Naive", lubm_graph)
+        plan = parse_sparql(text)
+        return canonical_result(engine.execute(plan), plan)
+
+    def test_unpaged_payload_has_no_page_key(self, lubm_graph):
+        assert "page" not in self._unpaged(lubm_graph)
+
+    def test_pages_are_disjoint_and_exhaustive(self, lubm_graph):
+        full = self._unpaged(lubm_graph)
+        total = len(full["triples"])
+        limit = 5
+        reassembled = []
+        offset = 0
+        while offset < total:
+            page = self._page(lubm_graph, limit, offset)
+            assert page["page"] == {
+                "limit": limit,
+                "offset": offset,
+                "total": total,
+            }
+            assert len(page["triples"]) <= limit
+            assert not set(reassembled) & set(page["triples"])
+            reassembled.extend(page["triples"])
+            offset += limit
+        # Byte-identical reassembly of the unpaged form.
+        assert reassembled == full["triples"]
+
+    def test_page_boundaries_are_engine_independent(self, lubm_graph):
+        text = self.CONSTRUCT + " LIMIT 4 OFFSET 4"
+        plan = parse_sparql(text)
+        payloads = {
+            canonical_json(
+                canonical_result(
+                    build_engine(name, lubm_graph).execute(plan), plan
+                )
+            )
+            for name in ["Naive", "SPARQLGX", "S2RDF", "HAQWA"]
+        }
+        assert len(payloads) == 1
+
+    def test_offset_past_the_end_is_an_empty_page(self, lubm_graph):
+        full = self._unpaged(lubm_graph)
+        total = len(full["triples"])
+        page = self._page(lubm_graph, 5, total + 10)
+        assert page["triples"] == []
+        assert page["page"]["total"] == total
+
+    def test_pure_offset_slices_the_tail(self, lubm_graph):
+        full = self._unpaged(lubm_graph)
+        text = self.CONSTRUCT + " OFFSET 3"
+        engine = build_engine("Naive", lubm_graph)
+        plan = parse_sparql(text)
+        payload = canonical_result(engine.execute(plan), plan)
+        assert payload["triples"] == full["triples"][3:]
+        assert payload["page"]["limit"] is None

@@ -1,0 +1,127 @@
+"""Compiled-query corpus: shape -> SPARQL text is pinned byte-for-byte."""
+
+import pytest
+
+from repro.rdf.terms import Literal, URI
+from repro.shacl.compile import (
+    class_probe,
+    compile_shape,
+    compile_shape_set,
+    harvest_queries,
+)
+from repro.shacl.shapes import ShapeSet, load_shapes_file
+from repro.sparql.ast import AskQuery, ConstructQuery, SelectQuery
+from repro.sparql.parser import parse_sparql
+
+LUBM = "http://repro.example.org/lubm#"
+RDF_TYPE = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+
+
+@pytest.fixture()
+def clean_shapes():
+    return load_shapes_file("examples/shapes/lubm_clean.json")
+
+
+class TestCompiledText:
+    def test_target_query_text_is_pinned(self, clean_shapes):
+        compiled = compile_shape(clean_shapes.shapes[0])
+        assert compiled[0].id == "shacl/GraduateStudentShape/target"
+        assert compiled[0].kind == "target"
+        assert compiled[0].text == (
+            "SELECT ?focus WHERE { ?focus %s <%sGraduateStudent> }"
+            % (RDF_TYPE, LUBM)
+        )
+
+    def test_values_query_text_is_pinned(self, clean_shapes):
+        compiled = compile_shape(clean_shapes.shapes[0])
+        assert compiled[1].id == "shacl/GraduateStudentShape/p0/values"
+        assert compiled[1].text == (
+            "SELECT ?focus ?value WHERE { ?focus %s <%sGraduateStudent>"
+            " . ?focus <%sadvisor> ?value }" % (RDF_TYPE, LUBM, LUBM)
+        )
+
+    def test_target_subjects_of_pattern(self, clean_shapes):
+        teacher = clean_shapes.shapes[1]
+        assert teacher.target_subjects_of is not None
+        compiled = compile_shape(teacher)
+        assert compiled[0].text == (
+            "SELECT ?focus WHERE { ?focus <%steacherOf> ?__target }" % LUBM
+        )
+
+    def test_set_order_and_ids(self, clean_shapes):
+        ids = [c.id for c in compile_shape_set(clean_shapes)]
+        assert ids == [
+            "shacl/GraduateStudentShape/target",
+            "shacl/GraduateStudentShape/p0/values",
+            "shacl/GraduateStudentShape/p1/values",
+            "shacl/TeacherShape/target",
+            "shacl/TeacherShape/p0/values",
+            "shacl/TeacherShape/p1/values",
+            "shacl/DepartmentShape/target",
+            "shacl/DepartmentShape/p0/values",
+        ]
+
+    def test_every_compiled_query_parses(self, clean_shapes):
+        for compiled in compile_shape_set(clean_shapes):
+            assert isinstance(parse_sparql(compiled.text), SelectQuery)
+
+    def test_class_probe_text_and_id(self, clean_shapes):
+        teacher = clean_shapes.shapes[1]
+        value = URI(LUBM + "Department3")
+        probe = class_probe(teacher, 0, value, LUBM + "Department")
+        assert probe.id == (
+            "shacl/TeacherShape/p0/class?value=<%sDepartment3>" % LUBM
+        )
+        assert probe.text == (
+            "ASK { <%sDepartment3> %s <%sDepartment> }"
+            % (LUBM, RDF_TYPE, LUBM)
+        )
+        assert isinstance(parse_sparql(probe.text), AskQuery)
+
+    def test_class_probe_rejects_literals(self, clean_shapes):
+        with pytest.raises(ValueError):
+            class_probe(
+                clean_shapes.shapes[1], 0, Literal("x"), LUBM + "Department"
+            )
+
+
+class TestHarvestQueries:
+    def test_families_cover_targets_values_and_classes(self, clean_shapes):
+        harvest = harvest_queries(clean_shapes)
+        ids = [c.id for c in harvest]
+        # One target per shape, one per property, one extra per
+        # sh:class constraint (TeacherShape.p0 and DepartmentShape.p0).
+        assert ids == [
+            "shacl/GraduateStudentShape/harvest/target",
+            "shacl/GraduateStudentShape/harvest/p0",
+            "shacl/GraduateStudentShape/harvest/p1",
+            "shacl/TeacherShape/harvest/target",
+            "shacl/TeacherShape/harvest/p0",
+            "shacl/TeacherShape/harvest/p0/class",
+            "shacl/TeacherShape/harvest/p1",
+            "shacl/DepartmentShape/harvest/target",
+            "shacl/DepartmentShape/harvest/p0",
+            "shacl/DepartmentShape/harvest/p0/class",
+        ]
+        for compiled in harvest:
+            assert compiled.kind == "harvest"
+            plan = parse_sparql(compiled.text)
+            assert isinstance(plan, ConstructQuery)
+            # The harvester owns paging; compiled text must be unpaged.
+            assert plan.limit is None and not plan.offset
+
+    def test_class_harvest_text_is_pinned(self, clean_shapes):
+        harvest = {c.id: c.text for c in harvest_queries(clean_shapes)}
+        assert harvest["shacl/TeacherShape/harvest/p0/class"] == (
+            "CONSTRUCT { ?value %(t)s <%(l)sDepartment> } WHERE "
+            "{ ?focus <%(l)steacherOf> ?__target . "
+            "?focus <%(l)sworksFor> ?value . "
+            "?value %(t)s <%(l)sDepartment> }"
+            % {"t": RDF_TYPE, "l": LUBM}
+        )
+
+    def test_pure_function_of_the_shape_set(self, clean_shapes):
+        again = ShapeSet.from_json(clean_shapes.to_json())
+        assert [
+            (c.id, c.text) for c in harvest_queries(clean_shapes)
+        ] == [(c.id, c.text) for c in harvest_queries(again)]

@@ -1,0 +1,211 @@
+"""Shape language: parsing, round-trips, and loud failure on typos."""
+
+import pytest
+
+from repro.rdf.terms import Literal, URI
+from repro.shacl.shapes import (
+    NodeShape,
+    PropertyShape,
+    ShaclError,
+    ShapeSet,
+    default_shapes_for,
+    load_shapes_file,
+    term_from_payload,
+    term_to_payload,
+)
+
+LUBM = "http://repro.example.org/lubm#"
+
+
+def simple_set() -> ShapeSet:
+    return ShapeSet.from_payload(
+        {
+            "shapes": [
+                {
+                    "name": "S",
+                    "targetClass": LUBM + "Department",
+                    "properties": [
+                        {
+                            "path": LUBM + "name",
+                            "minCount": 1,
+                            "maxCount": 1,
+                            "datatype": (
+                                "http://www.w3.org/2001/XMLSchema#string"
+                            ),
+                        },
+                        {
+                            "path": LUBM + "subOrganizationOf",
+                            "nodeKind": "IRI",
+                            "class": LUBM + "University",
+                        },
+                    ],
+                }
+            ]
+        }
+    )
+
+
+class TestTerms:
+    def test_iri_round_trip(self):
+        term = term_from_payload({"iri": LUBM + "x"}, "t")
+        assert term == URI(LUBM + "x")
+        assert term_to_payload(term) == {"iri": LUBM + "x"}
+
+    def test_literal_round_trip(self):
+        payload = {"literal": "hi", "language": "en"}
+        term = term_from_payload(payload, "t")
+        assert isinstance(term, Literal) and term.language == "en"
+        assert term_to_payload(term) == payload
+
+    def test_typed_literal_round_trip(self):
+        payload = {
+            "literal": "3",
+            "datatype": "http://www.w3.org/2001/XMLSchema#integer",
+        }
+        assert term_to_payload(term_from_payload(payload, "t")) == payload
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-an-object",
+            {"uri": "typo"},
+            {"iri": LUBM + "x", "datatype": "d"},
+            {"datatype": "d"},
+            {"literal": ""},
+            {"literal": "x", "language": "en", "datatype": "d"},
+        ],
+    )
+    def test_bad_terms_fail_loudly(self, bad):
+        with pytest.raises(ShaclError):
+            term_from_payload(bad, "t")
+
+
+class TestParsing:
+    def test_round_trip_is_byte_stable(self):
+        shapes = simple_set()
+        text = shapes.to_json()
+        again = ShapeSet.from_json(text)
+        assert again == shapes
+        assert again.to_json() == text
+
+    def test_fixture_files_round_trip(self):
+        for name in ("lubm_clean", "lubm_violating"):
+            shapes = load_shapes_file("examples/shapes/%s.json" % name)
+            assert ShapeSet.from_json(shapes.to_json()) == shapes
+
+    def test_defaults(self):
+        prop = PropertyShape.from_payload({"path": LUBM + "p"}, "t")
+        assert prop.min_count == 0
+        assert prop.max_count is None
+        assert prop.to_payload() == {"path": LUBM + "p"}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"shapes": []},
+            {"shapes": "nope"},
+            {"shapez": []},
+            {"shapes": [{"name": "S"}]},  # no target
+            {
+                "shapes": [
+                    {
+                        "name": "S",
+                        "targetClass": "c",
+                        "targetSubjectsOf": "p",
+                    }
+                ]
+            },  # both targets
+            {"shapes": [{"targetClass": "c"}]},  # no name
+            {"shapes": [{"name": "bad name!", "targetClass": "c"}]},
+            {
+                "shapes": [
+                    {"name": "A", "targetClass": "c"},
+                    {"name": "A", "targetClass": "c"},
+                ]
+            },  # duplicate names
+            {
+                "shapes": [
+                    {
+                        "name": "S",
+                        "targetClass": "c",
+                        "properties": [{"path": "p", "minCnt": 1}],
+                    }
+                ]
+            },  # typoed constraint
+            {
+                "shapes": [
+                    {
+                        "name": "S",
+                        "targetClass": "c",
+                        "properties": [
+                            {"path": "p", "minCount": 2, "maxCount": 1}
+                        ],
+                    }
+                ]
+            },
+            {
+                "shapes": [
+                    {
+                        "name": "S",
+                        "targetClass": "c",
+                        "properties": [{"path": "p", "minCount": True}],
+                    }
+                ]
+            },  # bool is not a count
+            {
+                "shapes": [
+                    {
+                        "name": "S",
+                        "targetClass": "c",
+                        "properties": [{"path": "p", "nodeKind": "Iri"}],
+                    }
+                ]
+            },
+            {
+                "shapes": [
+                    {
+                        "name": "S",
+                        "targetClass": "c",
+                        "properties": [{"path": "p", "in": []}],
+                    }
+                ]
+            },
+        ],
+    )
+    def test_bad_shape_sets_fail_loudly(self, bad):
+        with pytest.raises(ShaclError):
+            ShapeSet.from_payload(bad)
+
+    def test_bad_json_text(self):
+        with pytest.raises(ShaclError):
+            ShapeSet.from_json("{not json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ShaclError):
+            load_shapes_file(str(tmp_path / "nope.json"))
+
+    def test_direct_construction_validates_too(self):
+        with pytest.raises(ShaclError):
+            NodeShape(name="S")  # no target
+        with pytest.raises(ShaclError):
+            ShapeSet(shapes=())
+
+
+class TestDefaultShapes:
+    def test_deterministic_and_lubm_grounded(self, lubm_graph):
+        first = default_shapes_for(lubm_graph)
+        second = default_shapes_for(lubm_graph)
+        assert first == second
+        assert first.to_json() == second.to_json()
+        assert [s.name for s in first] == ["Shape0", "Shape1", "Shape2"]
+        for shape in first:
+            assert shape.target_class is not None
+            assert shape.properties
+            for prop in shape.properties:
+                assert prop.min_count == 1
+
+    def test_typeless_graph_is_an_error(self):
+        from repro.rdf.graph import RDFGraph
+
+        with pytest.raises(ShaclError):
+            default_shapes_for(RDFGraph())

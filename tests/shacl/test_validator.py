@@ -1,0 +1,225 @@
+"""The validator: engine-independent report bytes, billing, caching.
+
+The acceptance property lives here: validating the fixture shape sets
+over the seeded LUBM graph produces **byte-identical** reports through
+every executor -- bare engines from the survey, the routed service, and
+the reference local evaluator -- and those bytes are pinned by hash so a
+drift in any layer (parser, engine, canonical wire form, report
+rendering) fails loudly.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.runtime import build_engine
+from repro.server.service import QueryService
+from repro.shacl import (
+    EngineExecutor,
+    LocalGraphExecutor,
+    ServiceExecutor,
+    ShaclValidator,
+    ValidationExecutionError,
+    compile_shape_set,
+    load_shapes_file,
+)
+from repro.spark.context import SparkContext
+
+#: Pinned SHA-256 of ValidationReport.to_json() for the fixture corpus
+#: over LubmGenerator(num_universities=1, seed=42).  A legitimate
+#: semantic change must update these alongside docs/SHACL.md.
+CLEAN_SHA = "d989774fb474177c2d38e04449c887ac08ac4837a1e1b859d755dcdc6dd37c5c"
+VIOLATING_SHA = (
+    "caa4415d08307f8541aabb53704c76c3bbb986dcff1e8bf5d49f2fe0249b877f"
+)
+
+ENGINES = ["Naive", "SPARQLGX", "S2RDF", "HAQWA"]
+
+
+def sha(report) -> str:
+    return hashlib.sha256(report.to_json().encode("utf-8")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def clean_shapes():
+    return load_shapes_file("examples/shapes/lubm_clean.json")
+
+
+@pytest.fixture(scope="module")
+def violating_shapes():
+    return load_shapes_file("examples/shapes/lubm_violating.json")
+
+
+class TestFixtureCorpus:
+    def test_clean_fixture_conforms(self, lubm_graph, clean_shapes):
+        report = ShaclValidator(
+            LocalGraphExecutor(lubm_graph)
+        ).validate(clean_shapes)
+        assert report.conforms
+        assert report.focus_nodes == 27
+        assert report.queries == 12
+        assert not report.violations
+        assert sha(report) == CLEAN_SHA
+
+    def test_violating_fixture_report_is_pinned(
+        self, lubm_graph, violating_shapes
+    ):
+        report = ShaclValidator(
+            LocalGraphExecutor(lubm_graph)
+        ).validate(violating_shapes)
+        assert not report.conforms
+        assert report.focus_nodes == 16
+        assert len(report.violations) == 20
+        by_constraint = {}
+        for violation in report.violations:
+            key = violation["constraint"]
+            by_constraint[key] = by_constraint.get(key, 0) + 1
+        assert by_constraint == {
+            "class": 15,
+            "in": 1,
+            "maxCount": 3,
+            "minCount": 1,
+        }
+        assert sha(report) == VIOLATING_SHA
+
+    def test_violations_are_sorted(self, lubm_graph, violating_shapes):
+        report = ShaclValidator(
+            LocalGraphExecutor(lubm_graph)
+        ).validate(violating_shapes)
+        keys = [
+            (v["shape"], v["focus"], v["path"], v["constraint"], v["value"])
+            for v in report.violations
+        ]
+        assert keys == sorted(keys)
+
+
+class TestByteIdentityAcrossExecutors:
+    @pytest.mark.parametrize("fixture_sha", [CLEAN_SHA, VIOLATING_SHA])
+    def test_engines_service_and_local_agree(
+        self, lubm_graph, clean_shapes, violating_shapes, fixture_sha
+    ):
+        shapes = (
+            clean_shapes if fixture_sha == CLEAN_SHA else violating_shapes
+        )
+        executors = [LocalGraphExecutor(lubm_graph)]
+        executors.extend(
+            EngineExecutor(build_engine(name, lubm_graph))
+            for name in ENGINES
+        )
+        executors.append(ServiceExecutor(QueryService(lubm_graph.copy())))
+        executors.append(
+            ServiceExecutor(
+                QueryService(
+                    lubm_graph.copy(),
+                    route=True,
+                    route_engines=["SPARQLGX", "S2RDF"],
+                )
+            )
+        )
+        digests = {
+            executor.label: sha(ShaclValidator(executor).validate(shapes))
+            for executor in executors
+        }
+        assert set(digests.values()) == {fixture_sha}, digests
+
+    def test_accounting_is_outside_the_report_body(
+        self, lubm_graph, clean_shapes
+    ):
+        report = ShaclValidator(
+            EngineExecutor(build_engine("SPARQLGX", lubm_graph))
+        ).validate(clean_shapes)
+        assert report.accounting["executor"] == "SPARQLGX"
+        assert report.accounting["units"] > 0
+        assert "accounting" not in report.to_payload()
+        assert "units" not in report.to_payload()
+
+
+class TestServiceBilling:
+    def test_every_compiled_query_is_billed_individually(
+        self, lubm_graph, violating_shapes
+    ):
+        service = QueryService(lubm_graph.copy())
+        report = ShaclValidator(ServiceExecutor(service)).validate(
+            violating_shapes
+        )
+        records = report.accounting["records"]
+        assert len(records) == report.queries == 16
+        static_ids = {c.id for c in compile_shape_set(violating_shapes)}
+        seen_ids = {r["id"] for r in records}
+        assert static_ids <= seen_ids  # plus data-dependent class probes
+        assert all(r["status"] == "ok" for r in records)
+        assert report.accounting["units"] == sum(
+            r["units"] for r in records
+        )
+        # Each submission really crossed the service (billed requests).
+        counters = service.stats()["counters"]
+        assert counters.get("queries_admitted", 0) >= len(records)
+        assert counters.get("service_units", 0) == report.accounting[
+            "units"
+        ]
+
+    def test_second_pass_hits_the_plan_cache(
+        self, lubm_graph, clean_shapes
+    ):
+        service = QueryService(lubm_graph.copy(), enable_result_cache=False)
+        executor = ServiceExecutor(service)
+        cold = ShaclValidator(executor).validate(clean_shapes)
+        warm = ShaclValidator(executor).validate(clean_shapes)
+        assert cold.accounting["plan_hits"] == 0
+        assert warm.accounting["plan_hits"] == warm.accounting["executed"]
+        assert warm.accounting["units"] <= cold.accounting["units"]
+        assert sha(cold) == sha(warm) == CLEAN_SHA
+
+    def test_second_pass_hits_the_result_cache_when_enabled(
+        self, lubm_graph, clean_shapes
+    ):
+        executor = ServiceExecutor(QueryService(lubm_graph.copy()))
+        ShaclValidator(executor).validate(clean_shapes)
+        warm = ShaclValidator(executor).validate(clean_shapes)
+        assert warm.accounting["result_hits"] == warm.accounting["executed"]
+        assert sha(warm) == CLEAN_SHA
+
+    def test_rejected_query_raises(self, lubm_graph, clean_shapes):
+        # A 1-unit deadline aborts the very first compiled query.
+        service = QueryService(lubm_graph.copy(), default_deadline=1)
+        with pytest.raises(ValidationExecutionError):
+            ShaclValidator(ServiceExecutor(service)).validate(clean_shapes)
+
+
+class TestProbes:
+    def test_class_probes_are_memoized_per_run(
+        self, lubm_graph, violating_shapes
+    ):
+        report = ShaclValidator(
+            LocalGraphExecutor(lubm_graph)
+        ).validate(violating_shapes)
+        probe_ids = [
+            r["id"]
+            for r in report.accounting["records"]
+            if r["kind"] == "class"
+        ]
+        assert probe_ids  # sh:class constraints did generate probes
+        assert len(probe_ids) == len(set(probe_ids))
+
+
+class TestTracing:
+    def test_validate_spans_carry_shape_attrs(
+        self, lubm_graph, violating_shapes
+    ):
+        tracer = SparkContext(default_parallelism=2).tracer.enable()
+        ShaclValidator(
+            LocalGraphExecutor(lubm_graph), tracer=tracer
+        ).validate(violating_shapes)
+        tracer.disable()
+        spans = [
+            span
+            for root in tracer.roots
+            for span in root.walk()
+            if span.kind == "validate"
+        ]
+        assert [span.name for span in spans] == [
+            shape.name for shape in violating_shapes
+        ]
+        total = sum(span.attrs["violations"] for span in spans)
+        assert total == 20
+        assert all("focus_nodes" in span.attrs for span in spans)

@@ -1,0 +1,172 @@
+"""The ``validate`` and ``harvest`` subcommands: exit codes, byte
+determinism across engines and the remote path, artifacts on disk."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.rdf.ntriples import save_ntriples_file
+
+CLEAN = "examples/shapes/lubm_clean.json"
+VIOLATING = "examples/shapes/lubm_violating.json"
+LUBM = "http://repro.example.org/lubm#"
+HARVEST_QUERY = (
+    "CONSTRUCT { ?s <%(l)sadvisor> ?o } WHERE { ?s <%(l)sadvisor> ?o }"
+    % {"l": LUBM}
+)
+
+
+@pytest.fixture
+def data_file(tmp_path, lubm_graph):
+    path = tmp_path / "data.nt"
+    save_ntriples_file(str(path), lubm_graph)
+    return str(path)
+
+
+class TestValidateExitCodes:
+    def test_conformant_exits_zero(self, data_file, capsys):
+        assert main(["validate", data_file, CLEAN]) == 0
+        out = capsys.readouterr().out
+        assert "conforms: yes" in out
+
+    def test_non_conformant_exits_one(self, data_file, capsys):
+        assert main(["validate", data_file, VIOLATING]) == 1
+        out = capsys.readouterr().out
+        assert "conforms: NO" in out
+        assert "violation:" in out
+
+    def test_bad_shapes_file_exits_two(self, data_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"shapes": [{"name": "S"}]}')
+        assert main(["validate", data_file, str(bad)]) == 2
+        assert "bad shapes file" in capsys.readouterr().err
+
+    def test_missing_shapes_file_exits_two(self, data_file, capsys):
+        assert main(["validate", data_file, "/no/such/shapes.json"]) == 2
+
+    def test_report_artifact_round_trips(
+        self, data_file, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "validate",
+                    data_file,
+                    VIOLATING,
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["conforms"] is False
+        assert len(payload["violations"]) == 20
+
+
+class TestValidateByteDeterminism:
+    def _json_report(self, capsys, argv):
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_engines_agree_byte_for_byte(self, data_file, capsys):
+        outputs = set()
+        for engine in ("Naive", "SPARQLGX", "S2RDF", "HAQWA"):
+            code, out = self._json_report(
+                capsys,
+                [
+                    "validate",
+                    data_file,
+                    VIOLATING,
+                    "--json",
+                    "--engine",
+                    engine,
+                ],
+            )
+            assert code == 1
+            outputs.add(out)
+        assert len(outputs) == 1
+
+    def test_routed_and_remote_agree_with_fixed_engine(
+        self, data_file, capsys
+    ):
+        _, direct = self._json_report(
+            capsys, ["validate", data_file, VIOLATING, "--json"]
+        )
+        _, routed = self._json_report(
+            capsys, ["validate", data_file, VIOLATING, "--json", "--route"]
+        )
+        _, remote = self._json_report(
+            capsys,
+            [
+                "validate",
+                data_file,
+                VIOLATING,
+                "--json",
+                "--remote",
+                "--page-size",
+                "9",
+            ],
+        )
+        assert direct == routed == remote
+        assert json.loads(direct)["conforms"] is False
+
+
+class TestHarvest:
+    def test_harvest_summary_and_exit_zero(self, data_file, capsys):
+        assert main(["harvest", data_file, HARVEST_QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "harvested" in out
+
+    def test_harvest_json_accounting(self, data_file, capsys):
+        assert (
+            main(
+                [
+                    "harvest",
+                    data_file,
+                    HARVEST_QUERY,
+                    "--json",
+                    "--page-size",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["triples"] == payload["new_triples"] > 0
+        assert payload["pages"] == (payload["triples"] + 4) // 5
+        assert payload["remote_version"] == 0
+
+    def test_harvest_output_file(self, data_file, tmp_path, capsys):
+        out_path = tmp_path / "subgraph.nt"
+        assert (
+            main(
+                [
+                    "harvest",
+                    data_file,
+                    HARVEST_QUERY,
+                    "--output",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        lines = [
+            line
+            for line in out_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert lines and all("advisor" in line for line in lines)
+
+    def test_select_query_exits_two(self, data_file, capsys):
+        assert (
+            main(["harvest", data_file, "SELECT ?s WHERE { ?s ?p ?o }"])
+            == 2
+        )
+
+    def test_pre_paged_query_exits_two(self, data_file, capsys):
+        assert (
+            main(["harvest", data_file, HARVEST_QUERY + " LIMIT 2"]) == 2
+        )

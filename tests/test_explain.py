@@ -262,3 +262,48 @@ class TestPreambleOrder:
         text = explain(lubm_graph, STAR, [SparqlgxEngine], optimize=True)
         assert "lint:" not in text and "views:" not in text
         assert text.startswith("== SPARQLGX ==")
+
+
+class TestShaclPreamble:
+    def test_inventory_marks_the_explained_query(self, lubm_graph):
+        from repro.shacl import compile_shape_set, load_shapes_file
+
+        shapes = load_shapes_file("examples/shapes/lubm_clean.json")
+        target = compile_shape_set(shapes)[0]
+        text = explain(
+            lubm_graph, target.text, [SparqlgxEngine], shapes=shapes
+        )
+        assert "shacl:" in text
+        assert "<- the explained query" in text
+        marked = [
+            line for line in text.splitlines() if "<- the explained" in line
+        ]
+        assert len(marked) == 1 and target.id in marked[0]
+        assert text.index("shacl:") < text.index("== SPARQLGX ==")
+
+    def test_unrelated_query_is_not_marked(self, lubm_graph):
+        from repro.shacl import load_shapes_file
+
+        shapes = load_shapes_file("examples/shapes/lubm_clean.json")
+        text = explain(lubm_graph, STAR, [SparqlgxEngine], shapes=shapes)
+        assert "shacl:" in text
+        assert "<- the explained query" not in text
+
+    def test_shacl_sorts_after_routing_before_views(self, lubm_graph):
+        from repro.shacl import load_shapes_file
+
+        shapes = load_shapes_file("examples/shapes/lubm_clean.json")
+        text = explain(
+            lubm_graph,
+            STAR,
+            [SparqlgxEngine],
+            optimize=True,
+            views=True,
+            route=True,
+            shapes=shapes,
+        )
+        assert (
+            text.index("routing:")
+            < text.index("shacl:")
+            < text.index("views:")
+        )
