@@ -1,0 +1,259 @@
+"""The CI perf-trajectory gate: committed BENCH artifacts are a floor.
+
+Every ``BENCH_*.json`` at the repository root is byte-reproducible: the
+numbers are simulated cost units, join comparisons, and cache counters,
+never wall-clock, so re-running a bench on an unchanged tree reproduces
+the committed file exactly.  That makes the perf trajectory enforceable
+with **tolerance zero** -- any difference between a fresh run and the
+committed artifact is a code change, not noise.
+
+This script re-runs each deterministic bench and compares the fresh
+payload against its committed artifact, leaf by leaf:
+
+* a *perf* leaf (``join_comparisons``, ``*_units``, latency
+  percentiles, ...) that **increased** is reported as a ``regression``;
+* a perf leaf that **decreased** is an ``improvement`` -- the gate
+  still fails (the artifact must be re-committed so the better number
+  becomes the new floor), but the report says which way it moved;
+* any other difference (row counts, added/removed leaves, non-numeric
+  values) is ``drift``.
+
+Exit codes: 0 clean, 1 findings, 2 unusable inputs (missing artifact).
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--bench NAME]...
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Leaf keys measuring simulated work: lower is better, so an increase
+# is a regression.  Everything else is compared for exact equality and
+# any difference reported as drift.
+PERF_LEAF_KEYS = frozenset(
+    [
+        "broadcast_bytes",
+        "build_cost",
+        "cost",
+        "join_comparisons",
+        "maintenance_cost",
+        "max",
+        "mean",
+        "p50",
+        "p95",
+        "p99",
+        "rebuild_cost",
+        "records_scanned",
+        "remote_units",
+        "shuffle_records",
+        "total_units",
+        "units",
+        "wire_requests",
+    ]
+)
+
+
+class Finding(NamedTuple):
+    bench: str
+    path: str
+    kind: str  # "regression" | "improvement" | "drift"
+    baseline: object
+    fresh: object
+
+    def render(self) -> str:
+        if self.kind == "regression":
+            detail = "%s -> %s (worse)" % (self.baseline, self.fresh)
+        elif self.kind == "improvement":
+            detail = "%s -> %s (better; re-commit the artifact)" % (
+                self.baseline,
+                self.fresh,
+            )
+        else:
+            detail = "%s -> %s" % (self.baseline, self.fresh)
+        return "%s: %s %s: %s" % (self.bench, self.kind, self.path, detail)
+
+
+def flatten_payload(payload: object, prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts/lists into dotted-path -> leaf value."""
+    leaves: Dict[str, object] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            child = "%s.%s" % (prefix, key) if prefix else str(key)
+            leaves.update(flatten_payload(payload[key], child))
+    elif isinstance(payload, list):
+        for index, item in enumerate(payload):
+            child = "%s[%d]" % (prefix, index)
+            leaves.update(flatten_payload(item, child))
+    else:
+        leaves[prefix] = payload
+    return leaves
+
+
+def _leaf_key(path: str) -> str:
+    tail = path.rsplit(".", 1)[-1]
+    return tail.split("[", 1)[0]
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_payloads(bench: str, baseline: object, fresh: object) -> List[Finding]:
+    """Pure comparison of one committed payload against a fresh run."""
+    base_leaves = flatten_payload(baseline)
+    fresh_leaves = flatten_payload(fresh)
+    findings: List[Finding] = []
+    for path in sorted(set(base_leaves) | set(fresh_leaves)):
+        if path not in fresh_leaves:
+            findings.append(
+                Finding(bench, path, "drift", base_leaves[path], "<missing>")
+            )
+            continue
+        if path not in base_leaves:
+            findings.append(
+                Finding(bench, path, "drift", "<missing>", fresh_leaves[path])
+            )
+            continue
+        base_value = base_leaves[path]
+        fresh_value = fresh_leaves[path]
+        if base_value == fresh_value:
+            continue
+        if (
+            _leaf_key(path) in PERF_LEAF_KEYS
+            and _is_number(base_value)
+            and _is_number(fresh_value)
+        ):
+            kind = "regression" if fresh_value > base_value else "improvement"
+        else:
+            kind = "drift"
+        findings.append(Finding(bench, path, kind, base_value, fresh_value))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Bench specs: artifact name + a callable regenerating its payload
+# ---------------------------------------------------------------------------
+
+
+def _regen_module(module_name: str) -> Callable[[], dict]:
+    def regenerate() -> dict:
+        bench_dir = os.path.dirname(os.path.abspath(__file__))
+        if bench_dir not in sys.path:
+            sys.path.insert(0, bench_dir)
+        module = __import__(module_name)
+        return module.run_bench(smoke=False)
+
+    return regenerate
+
+
+def _regen_server() -> dict:
+    """Replicate the documented BENCH_server.json regeneration commands.
+
+    README pins the provenance: a LUBM scale-1 seed-42 dataset driven by
+    the default loadtest (8 clients x 8 requests, 2 tenants, seed 42).
+    Running the real CLI keeps this spec from drifting against it.
+    """
+    import tempfile
+
+    from repro.cli import main as repro_main
+
+    with tempfile.TemporaryDirectory(prefix="check-regression-") as tmp:
+        data = os.path.join(tmp, "bench_data.nt")
+        report = os.path.join(tmp, "server_report.json")
+        stdout = sys.stdout
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
+        try:
+            code = repro_main(
+                ["generate", "lubm", data, "--scale", "1", "--seed", "42"]
+            )
+            if code == 0:
+                code = repro_main(
+                    [
+                        "loadtest",
+                        data,
+                        "--clients",
+                        "8",
+                        "--tenants",
+                        "2",
+                        "--seed",
+                        "42",
+                        "--report",
+                        report,
+                    ]
+                )
+        finally:
+            sys.stdout.close()
+            sys.stdout = stdout
+        if code != 0:
+            raise RuntimeError("loadtest regeneration exited %d" % code)
+        with open(report, encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+SPECS: List[Tuple[str, str, Callable[[], dict]]] = [
+    ("optimizer", "BENCH_optimizer.json", _regen_module("bench_optimizer")),
+    ("routing", "BENCH_routing.json", _regen_module("bench_routing")),
+    ("server", "BENCH_server.json", _regen_server),
+    ("shacl", "BENCH_shacl.json", _regen_module("bench_shacl")),
+    ("views", "BENCH_views.json", _regen_module("bench_views")),
+]
+
+
+def check_bench(
+    name: str,
+    artifact: str,
+    regenerate: Callable[[], dict],
+    root: str = REPO_ROOT,
+) -> List[Finding]:
+    path = os.path.join(root, artifact)
+    with open(path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    fresh = regenerate()
+    return compare_payloads(name, baseline, fresh)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a deterministic bench regresses against "
+        "its committed BENCH_*.json artifact (tolerance 0)"
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=sorted(name for name, _, _ in SPECS),
+        help="check only this bench (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    selected = [
+        spec for spec in SPECS if args.bench is None or spec[0] in args.bench
+    ]
+    all_findings: List[Finding] = []
+    for name, artifact, regenerate in selected:
+        if not os.path.exists(os.path.join(REPO_ROOT, artifact)):
+            print("%s: missing artifact %s" % (name, artifact), file=sys.stderr)
+            return 2
+        findings = check_bench(name, artifact, regenerate)
+        all_findings.extend(findings)
+        status = "OK" if not findings else "%d finding(s)" % len(findings)
+        print("%s: %s vs fresh run: %s" % (name, artifact, status))
+    for finding in all_findings:
+        print(finding.render())
+    regressions = sum(1 for f in all_findings if f.kind == "regression")
+    if all_findings:
+        print(
+            "perf-trajectory gate: %d regression(s), %d other finding(s)"
+            % (regressions, len(all_findings) - regressions)
+        )
+        return 1
+    print("perf-trajectory gate: all %d artifact(s) clean" % len(selected))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

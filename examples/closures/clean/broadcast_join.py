@@ -1,0 +1,28 @@
+"""Clean exemplar: broadcast used read-only, exceptions pickle-safe.
+
+The lookup table is broadcast once and only ever *read* in worker
+closures; the worker-side failure type keeps the default single-arg
+``ValueError`` constructor so it survives the worker pipe.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize([("a", 1), ("b", 2), ("d", 4)])
+
+lookup = sc.broadcast({"a": 10, "b": 20, "c": 30})
+
+
+class UnknownKeyError(ValueError):
+    pass
+
+
+def enrich(pair):
+    key, value = pair
+    if key not in lookup.value:
+        raise UnknownKeyError(key)
+    return key, value * lookup.value[key]
+
+
+joined = rdd.filter(lambda kv: kv[0] in lookup.value).map(enrich).collect()
+print(sorted(joined))

@@ -1,0 +1,19 @@
+"""Clean exemplar: the sanctioned default-argument rebinding idiom.
+
+Each lambda freezes the loop variable's *current* value in a default
+expression, which evaluates at definition time on the driver -- the
+pattern the engines in :mod:`repro.systems` use for per-predicate
+filters.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(["a", "b", "c", "a"])
+
+filtered = []
+for letter in ("a", "b", "c"):
+    filtered.append(rdd.filter(lambda x, letter=letter: x == letter))
+
+counts = [f.count() for f in filtered]
+print(counts)

@@ -1,0 +1,32 @@
+"""Clean exemplar: the canonical wordcount, written to the contract.
+
+Counting happens through the shuffle (``reduceByKey``), not through
+captured driver state; the accumulator is only ever ``add``-ed on
+workers and only ``.value``-read on the driver after the action.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+lines = sc.parallelize(["a b", "b c", "a a"])
+
+malformed = sc.accumulator(0)
+
+
+def tokens(line):
+    out = []
+    for token in line.split():
+        if token:
+            out.append(token)
+        else:
+            malformed.add(1)
+    return out
+
+
+counts = (
+    lines.flatMap(tokens)
+    .map(lambda w: (w, 1))
+    .reduceByKey(lambda a, b: a + b)
+    .collect()
+)
+print(sorted(counts), "malformed:", malformed.value)

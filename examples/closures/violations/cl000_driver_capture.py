@@ -1,0 +1,14 @@
+"""CL000: a worker closure captures the driver-side SparkContext.
+
+The context owns the virtual cluster; shipping it through the worker
+pipe either fails to pickle or, worse, gives every worker its own
+divergent copy of the scheduler state.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(range(100))
+
+# The lambda reaches back into the driver to launch a nested job.
+nested = rdd.map(lambda x: sc.parallelize([x]).count()).collect()

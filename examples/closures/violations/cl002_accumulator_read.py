@@ -1,0 +1,15 @@
+"""CL002: an accumulator's ``.value`` is read inside a transformation.
+
+Accumulators are write-only on workers: ``.value`` is only defined on
+the driver after the job completes.  Reading it mid-transformation
+observes a partial, partition-order-dependent count.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(range(100))
+
+processed = sc.accumulator(0)
+
+out = rdd.map(lambda x: x + processed.value).collect()

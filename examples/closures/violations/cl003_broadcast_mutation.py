@@ -1,0 +1,18 @@
+"""CL003: a broadcast value is mutated after capture.
+
+Broadcasts ship one immutable snapshot to every executor; mutating
+``.value`` afterwards changes the driver's copy only, so workers that
+already received the snapshot disagree with workers that have not.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(range(100))
+
+lookup = sc.broadcast({"a": 1})
+
+hits = rdd.filter(lambda x: str(x) in lookup.value).count()
+
+lookup.value["b"] = 2  # mutates the driver snapshot only
+lookup.value.update({"c": 3})

@@ -1,0 +1,29 @@
+"""CL004: a multi-argument exception type crosses the worker pipe.
+
+Worker failures are pickled back to the driver.  Exception classes
+whose ``__init__`` takes extra required arguments round-trip through
+``pickle`` as ``TypeError: __init__() missing ... arguments`` unless
+they define ``__reduce__`` (or another pickle hook) -- the original
+error is swallowed and the driver sees a confusing secondary failure.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(range(100))
+
+
+class MalformedRecordError(ValueError):
+    def __init__(self, record, reason):
+        super().__init__("%r: %s" % (record, reason))
+        self.record = record
+        self.reason = reason
+
+
+def parse(x):
+    if x % 7 == 0:
+        raise MalformedRecordError(x, "divisible by seven")
+    return x
+
+
+out = rdd.map(parse).collect()

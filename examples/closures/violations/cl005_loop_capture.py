@@ -1,0 +1,17 @@
+"""CL005: a closure captures the loop variable by reference.
+
+Python closures bind *names*, not values: every lambda built in the
+loop sees the loop variable's final value by the time a lazy RDD
+actually evaluates, so all three filters test for ``"c"``.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(["a", "b", "c", "a"])
+
+filtered = []
+for letter in ("a", "b", "c"):
+    filtered.append(rdd.filter(lambda x: x == letter))
+
+counts = [f.count() for f in filtered]

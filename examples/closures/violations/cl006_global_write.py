@@ -1,0 +1,21 @@
+"""CL006: worker code writes a global.
+
+The ``global`` write lands in each worker process's module namespace,
+not the driver's; the counter stays zero on the driver while the job
+"works".  Use an accumulator for worker-side counting.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(range(100))
+
+TOTAL = 0
+
+
+def bump(x):
+    global TOTAL
+    TOTAL += x
+
+
+rdd.foreach(bump)

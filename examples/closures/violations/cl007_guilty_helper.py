@@ -1,0 +1,22 @@
+"""CL007: a worker closure calls a helper that itself violates the
+contract.
+
+The lambda looks innocent; the violation lives one call away in
+``weight``, which reads an accumulator mid-flight.  The analyzer
+follows one level of module-local calls so the laundering does not
+hide the bug.
+"""
+
+from repro.spark.context import SparkContext
+
+sc = SparkContext(4)
+rdd = sc.parallelize(range(100))
+
+progress = sc.accumulator(0)
+
+
+def weight(x):
+    return x * (1 + progress.value)  # accumulator read in worker code
+
+
+out = rdd.map(lambda x: weight(x)).collect()

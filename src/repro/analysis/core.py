@@ -20,8 +20,9 @@ byte-identical (asserted in ``tests/analysis/test_core.py``).
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 #: Exit codes shared by ``repro lint`` and ``repro.analysis.determinism``.
 EXIT_CLEAN = 0
@@ -158,6 +159,42 @@ class RuleSet:
             {"code": r.code, "severity": r.severity, "title": r.title}
             for r in self._rules
         ]
+
+
+#: The shared suppression-comment syntax: ``# repro: allow(DT002)`` with
+#: codes comma- or space-separated.  The source-level analyzers (the
+#: determinism checker and the closure analyzer) honor it through
+#: :func:`suppressed`; the query linter accepts the same spelling as a
+#: SPARQL comment anywhere in the query text (its findings carry no
+#: line anchors); docsync accepts the markdown-native
+#: ``<!-- repro: allow(DS004) -->`` on or above the flagged doc line.
+ALLOW_RE = re.compile(r"(?:#|<!--)\s*repro:\s*allow\(([^)]*)\)")
+
+
+def allowed_codes(text: str) -> set:
+    """The set of codes an ``# repro: allow(...)`` comment in *text*
+    names; empty when the line carries no suppression comment."""
+    match = ALLOW_RE.search(text)
+    if match is None:
+        return set()
+    return {
+        token.strip()
+        for token in match.group(1).replace(",", " ").split()
+    }
+
+
+def suppressed(diagnostic: "Diagnostic", lines: Sequence[str]) -> bool:
+    """True when an ``# repro: allow(CODE)`` covers the flagged line
+    (trailing on the line itself or a comment on the line above)."""
+    candidates = []
+    if 1 <= diagnostic.line <= len(lines):
+        candidates.append(lines[diagnostic.line - 1])
+    if 2 <= diagnostic.line:
+        candidates.append(lines[diagnostic.line - 2])
+    for text in candidates:
+        if diagnostic.code in allowed_codes(text):
+            return True
+    return False
 
 
 #: Bumped when the serialized report layout changes incompatibly.

@@ -43,16 +43,15 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.core import (
     AnalysisReport,
-    Diagnostic,
     RuleSet,
     merge_reports,
+    suppressed,
 )
 
 DETERMINISM_RULES = RuleSet("determinism")
@@ -110,8 +109,6 @@ _ORDER_INSENSITIVE = frozenset(
 
 _MUTABLE_CALLS = frozenset(("bytearray", "dict", "list", "set"))
 
-_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
-
 
 @dataclass
 class FileContext:
@@ -143,17 +140,137 @@ class FileContext:
     def findings(self, code: str) -> List[Tuple[int, int, str]]:
         """(line, column, message) findings for one rule code."""
         if self._findings is None:
-            scan = _Scan()
+            scan = _Scan(
+                _set_bound_names(self.tree)
+                if self.tree is not None
+                else frozenset()
+            )
             if self.tree is not None:
                 scan.visit(self.tree)
             self._findings = scan.findings
         return self._findings.get(code, [])
 
 
+#: Set-preserving augmented assignments: ``s |= other`` keeps *s* a set.
+_SET_AUG_OPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Structurally set-valued: a literal/comprehension/constructor/
+    algebra of sets (no name resolution -- see :func:`_set_bound_names`)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("frozenset", "set")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_AUG_OPS):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _target_names(target: ast.AST):
+    """Every plain name a (possibly destructuring) target binds."""
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id
+
+
+def _set_bound_names(tree: ast.Module) -> frozenset:
+    """Names that are *only ever* bound to set values in this file.
+
+    A name qualifies when every binding of it anywhere in the module is
+    a plain assignment of a structurally set-valued expression (or a
+    set-preserving augmented assignment); any other binding -- a
+    parameter, import, loop target, non-set assignment, ``global``
+    declaration -- disqualifies it, because this scan is deliberately
+    scope-flat and must never flag a name that merely shadows a set.
+    """
+    set_assigned: set = set()
+    otherwise: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bucket = (
+                        set_assigned
+                        if _is_set_expr(node.value)
+                        else otherwise
+                    )
+                    bucket.add(target.id)
+                else:
+                    otherwise.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                if node.value is not None and _is_set_expr(node.value):
+                    set_assigned.add(node.target.id)
+                else:
+                    otherwise.add(node.target.id)
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name):
+                bucket = (
+                    set_assigned
+                    if _is_set_expr(node.value)
+                    else otherwise
+                )
+                bucket.add(node.target.id)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and not isinstance(
+                node.op, _SET_AUG_OPS
+            ):
+                otherwise.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            otherwise.add(node.name)
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + [args.vararg, args.kwarg]
+            ):
+                if arg is not None:
+                    otherwise.add(arg.arg)
+        elif isinstance(node, ast.Lambda):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + [args.vararg, args.kwarg]
+            ):
+                if arg is not None:
+                    otherwise.add(arg.arg)
+        elif isinstance(node, ast.ClassDef):
+            otherwise.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                otherwise.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            otherwise.update(_target_names(node.target))
+        elif isinstance(node, ast.comprehension):
+            otherwise.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    otherwise.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                otherwise.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            otherwise.update(node.names)
+    return frozenset(set_assigned - otherwise)
+
+
 class _Scan(ast.NodeVisitor):
     """One AST walk collecting every rule's raw findings."""
 
-    def __init__(self) -> None:
+    def __init__(self, set_names: frozenset = frozenset()) -> None:
+        #: Names provably bound only to set values (see
+        #: :func:`_set_bound_names`): iterating one is DT002 exactly
+        #: like iterating the set expression inline.
+        self._set_names = set_names
         #: code -> [(line, column, message)]
         self.findings: Dict[str, List[Tuple[int, int, str]]] = {}
         # Module-name aliases bound by imports ("import json as j").
@@ -208,21 +325,15 @@ class _Scan(ast.NodeVisitor):
     # -- helpers -------------------------------------------------------
 
     def _set_valued(self, node: ast.AST) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in ("frozenset", "set")
-        ):
-            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
         if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+            node.op, _SET_AUG_OPS
         ):
             return self._set_valued(node.left) or self._set_valued(
                 node.right
             )
-        return False
+        return _is_set_expr(node)
 
     def _call_target(self, node: ast.Call) -> Tuple[str, str]:
         """(root, attr) of the call: ``json.dumps(...)`` -> ("json",
@@ -435,6 +546,14 @@ def _rule_check(code: str):
     return check
 
 
+@DETERMINISM_RULES.rule("DT000", "error", "file does not parse")
+def _check_parses(context: FileContext, found):
+    if context.syntax_error:
+        yield found(
+            "syntax error: %s" % context.syntax_error, context.path
+        )
+
+
 DETERMINISM_RULES.rule(
     "DT001", "error", "json serialization without sort_keys"
 )(_rule_check("DT001"))
@@ -452,46 +571,15 @@ DETERMINISM_RULES.rule("DT005", "warning", "mutable default argument")(
 )
 
 
-def _suppressed(diagnostic: Diagnostic, lines: Sequence[str]) -> bool:
-    """True when an ``# repro: allow(CODE)`` covers the flagged line
-    (trailing on the line itself or a comment on the line above)."""
-    candidates = []
-    if 1 <= diagnostic.line <= len(lines):
-        candidates.append(lines[diagnostic.line - 1])
-    if 2 <= diagnostic.line:
-        candidates.append(lines[diagnostic.line - 2])
-    for text in candidates:
-        match = _ALLOW_RE.search(text)
-        if match is None:
-            continue
-        codes = {
-            token.strip()
-            for token in match.group(1).replace(",", " ").split()
-        }
-        if diagnostic.code in codes:
-            return True
-    return False
-
-
 def check_source(path: str, source: str) -> AnalysisReport:
     """Analyze one in-memory source file (the testable core)."""
     context = FileContext.from_source(path, source)
     report = AnalysisReport(
         analyzer=DETERMINISM_RULES.analyzer, subject=path
     )
-    if context.syntax_error:
-        report.diagnostics.append(
-            Diagnostic(
-                code="DT000",
-                severity="error",
-                message="syntax error: %s" % context.syntax_error,
-                location=path,
-            )
-        )
-        return report
     lines = source.splitlines()
     for diagnostic in DETERMINISM_RULES.run(context):
-        if not _suppressed(diagnostic, lines):
+        if not suppressed(diagnostic, lines):
             report.diagnostics.append(diagnostic)
     return report
 

@@ -1,4 +1,4 @@
-"""Front 3: the documentation drift checker (rules ``DS001`` .. ``DS005``).
+"""Front 3: the documentation drift checker (rules ``DS001`` .. ``DS006``).
 
 Documentation rots in one direction: the code moves, the prose stays.
 This module makes the README and ``docs/`` a *checked artifact* the same
@@ -33,6 +33,15 @@ Rules (catalog in ``docs/ANALYSIS.md``):
 ``DS005`` (warning)
     A ``docs/*.md`` file the README never mentions -- unreachable
     documentation.
+``DS006`` (error)
+    The rule-catalog tables in ``docs/ANALYSIS.md`` disagree with the
+    actually-registered :class:`~repro.analysis.core.RuleSet` codes
+    (QL/DT/DS/CL): a registered rule without a catalog row, or a
+    documented code no analyzer registers.
+
+Suppression: the markdown-native ``<!-- repro: allow(DS004) -->`` on
+the flagged line or the line above drops that finding (same shared
+syntax as the source analyzers; see :mod:`repro.analysis.core`).
 
 Determinism: same contract as the other analyzers -- diagnostics sort,
 JSON sorts keys, two runs over the same tree are byte-identical.  The
@@ -54,6 +63,7 @@ from repro.analysis.core import (
     EXIT_ERRORS,
     EXIT_WARNINGS,
     RuleSet,
+    suppressed,
 )
 
 DOCSYNC_RULES = RuleSet("docsync")
@@ -365,16 +375,88 @@ def _check_docs_index(context: DocsContext, found):
             )
 
 
+#: A rule-catalog table row in docs/ANALYSIS.md: ``| QL001 | error | ...``.
+_RULE_ROW_RE = re.compile(r"^\|\s*((?:QL|DT|DS|CL)\d{3})\s*\|")
+
+
+def registered_rule_codes() -> Dict[str, str]:
+    """code -> analyzer name for every registered rule of every front.
+
+    Imports are local: pulling the query linter at module import time
+    would drag the optimizer/SPARQL stack into every docsync run.
+    """
+    from repro.analysis.closures import CLOSURE_RULES
+    from repro.analysis.determinism import DETERMINISM_RULES
+    from repro.analysis.query import QUERY_RULES
+
+    codes: Dict[str, str] = {}
+    for ruleset in (
+        QUERY_RULES,
+        DETERMINISM_RULES,
+        DOCSYNC_RULES,
+        CLOSURE_RULES,
+    ):
+        for rule in ruleset:
+            codes[rule.code] = ruleset.analyzer
+    return codes
+
+
+@DOCSYNC_RULES.rule("DS006", "error", "rule-catalog table drift")
+def _check_rule_catalog(context: DocsContext, found):
+    pages = dict(context.pages)
+    page = pages.get("docs/ANALYSIS.md")
+    if page is None:
+        yield found(
+            "docs/ANALYSIS.md is missing: the rule catalog has nowhere"
+            " to live",
+            "docs/ANALYSIS.md",
+        )
+        return
+    documented: Dict[str, int] = {}
+    for lineno, line in enumerate(page.split("\n"), start=1):
+        match = _RULE_ROW_RE.match(line)
+        if match:
+            documented.setdefault(match.group(1), lineno)
+    registered = registered_rule_codes()
+    for code in sorted(registered):
+        if code not in documented:
+            yield found(
+                "rule %s (analyzer %r) is registered but has no catalog"
+                " row in docs/ANALYSIS.md" % (code, registered[code]),
+                "docs/ANALYSIS.md",
+            )
+    for code in sorted(documented):
+        if code not in registered:
+            yield found(
+                "docs/ANALYSIS.md documents rule %s, which no analyzer"
+                " registers" % code,
+                "docs/ANALYSIS.md",
+                documented[code],
+            )
+
+
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
 
 
 def check_root(root: str) -> AnalysisReport:
-    """Run every docsync rule over one repository root."""
+    """Run every docsync rule over one repository root.
+
+    The shared suppression syntax works in its markdown-native
+    spelling: a ``<!-- repro: allow(DS004) -->`` comment on the flagged
+    doc line (or the line above) drops that finding.
+    """
     context = DocsContext.from_root(root)
+    lines_by_page = {
+        path: text.splitlines() for path, text in context.pages
+    }
     report = AnalysisReport(analyzer=DOCSYNC_RULES.analyzer, subject=root)
-    report.extend(DOCSYNC_RULES.run(context))
+    report.extend(
+        d
+        for d in DOCSYNC_RULES.run(context)
+        if not suppressed(d, lines_by_page.get(d.location, ()))
+    )
     return report
 
 

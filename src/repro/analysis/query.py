@@ -45,7 +45,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
-from repro.analysis.core import AnalysisReport, Diagnostic, RuleSet
+from repro.analysis.core import (
+    AnalysisReport,
+    Diagnostic,
+    RuleSet,
+    allowed_codes,
+)
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.planner import DEFAULT_BROADCAST_THRESHOLD, JoinPlanner
 from repro.sparql.algebra import (
@@ -571,7 +576,14 @@ def lint_text(
     broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
     mode: str = "dp",
 ) -> AnalysisReport:
-    """Parse and lint query text; parse failures become ``QL000``."""
+    """Parse and lint query text; parse failures become ``QL000``.
+
+    ``#`` starts a comment in SPARQL, so the shared suppression syntax
+    works verbatim: an ``# repro: allow(QL001)`` comment line anywhere
+    in the query suppresses that code.  Query findings carry no line
+    anchors (they describe the whole plan), so the allow is file-level
+    -- unlike the per-line semantics of the source analyzers.
+    """
     context = LintContext(
         subject=subject,
         text=text,
@@ -584,6 +596,11 @@ def lint_text(
         context.query = parse_sparql(text)
     except ValueError as exc:
         context.parse_error = str(exc) or "unparseable query"
+    allowed: Set[str] = set()
+    for line in text.splitlines():
+        allowed |= allowed_codes(line)
     return AnalysisReport(
         analyzer=QUERY_RULES.analyzer, subject=subject
-    ).extend(QUERY_RULES.run(context))
+    ).extend(
+        d for d in QUERY_RULES.run(context) if d.code not in allowed
+    )

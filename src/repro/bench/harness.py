@@ -129,6 +129,9 @@ class BenchRun:
     backend: str = "inprocess"
     #: Worker-pool size under the parallel backend (None = default).
     workers: Optional[int] = None
+    #: Opt-in closure verification at job submission on every engine
+    #: context (see :mod:`repro.analysis.closures`).
+    verify_closures: bool = False
     results: List[RunResult] = field(default_factory=list)
 
     def _fault_schedule(self) -> Optional[FaultScheduler]:
@@ -174,6 +177,7 @@ class BenchRun:
                 speculation=self.speculation,
                 backend=self.backend,
                 workers=self.workers,
+                verify_closures=self.verify_closures,
             )
             kwargs = kwargs_by_name.get(engine_class.profile.name, {})
             engine = engine_class(ctx, **kwargs)

@@ -36,6 +36,16 @@ Commands
     projections, unsatisfiable filters, and -- when statistics are
     supplied via ``--data`` or ``--stats`` -- unknown predicates,
     cost-over-deadline, and broadcast-threshold misuse.
+    ``lint --closures PATH...`` instead treats the positional arguments
+    as Python sources and runs the closure analyzer (same as
+    ``analyze``).
+``analyze PATH... [--json]``
+    Statically analyze Python sources for worker-boundary closure
+    violations (:mod:`repro.analysis.closures`, rules CL000..CL007):
+    driver-object capture, shared-state mutation inside worker code,
+    accumulator reads in transformations, broadcast mutation, unpickled
+    exception types, loop-variable capture, global writes, and calls
+    into guilty helpers.  Exit 0 clean / 4 warnings / 5 errors.
 ``views DATA {build,list,stats} [--view-threshold F] [--json FILE]``
     Materialize the ExtVP view catalog for an RDF file (S2RDF semi-join
     reduction tables, selected by selectivity threshold): print its
@@ -84,14 +94,18 @@ substitute materialized ExtVP views into the plans.  ``serve`` and
 {inprocess,parallel}`` and ``--workers N`` to pick the executor backend
 (docs/PARALLEL.md): ``parallel`` runs partition tasks on a forked worker
 pool while keeping every result byte-identical to the in-process
-oracle.
+oracle.  The same commands (plus ``explain``) accept
+``--verify-closures`` to analyze every closure in a job's lineage at
+submission time (rules CL000..CL007, docs/ANALYSIS.md); a violating
+closure aborts the run with exit code 4.
 
 Exit codes (the full table lives in README.md): 0 success / clean lint
 / conformant ``validate``; 1 failed ``assess``/``claims`` checks or a
 non-conformant ``validate``; 2 unusable inputs (bad ``--faults`` spec,
 unknown engine, unreadable data/query/stats/shapes file); 3 when a
-fault schedule exhausts ``--max-task-attempts``; 4 lint found warnings
-only; 5 lint found errors.
+fault schedule exhausts ``--max-task-attempts``; 4 lint/``analyze``
+found warnings only, or ``--verify-closures`` rejected a submitted
+closure; 5 lint/``analyze`` found errors.
 """
 
 from __future__ import annotations
@@ -101,6 +115,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.closures import ClosureAnalysisError
 from repro.bench import BenchRun, format_table
 from repro.core import (
     render_table_i,
@@ -173,6 +188,7 @@ def cmd_query(args) -> int:
         speculation=args.speculation,
         backend=args.backend,
         workers=args.workers,
+        verify_closures=args.verify_closures,
     )
     engine = _engine_class(args.engine)(sc)
     engine.load(graph)
@@ -284,6 +300,7 @@ def cmd_explain(args) -> int:
             route=args.route,
             route_engines=args.route_engines or None,
             shapes=shapes,
+            verify_closures=args.verify_closures,
         )
     )
     return 0
@@ -425,6 +442,7 @@ def cmd_assess(args) -> int:
         speculation=args.speculation,
         backend=args.backend,
         workers=args.workers,
+        verify_closures=args.verify_closures,
     )
     results = bench.run(
         (NaiveEngine,) + ALL_ENGINE_CLASSES, queries, trace=bool(args.trace)
@@ -460,10 +478,35 @@ def cmd_assess(args) -> int:
     return 1 if bench.incorrect() else 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.analysis.closures import check_paths
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print("error: cannot read path: %s" % path, file=sys.stderr)
+            return 2
+    report = check_paths(args.paths)
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import lint_text, merge_reports
     from repro.stats import StatsCatalog
 
+    if args.closures:
+        if args.data or args.stats or args.deadline is not None:
+            print(
+                "error: --closures takes Python paths only (no --data, "
+                "--stats, or --deadline)",
+                file=sys.stderr,
+            )
+            return 2
+        args.paths = args.queries
+        return cmd_analyze(args)
     catalog = None
     if args.data and args.stats:
         print(
@@ -543,6 +586,7 @@ def _build_service(args):
         view_threshold=args.view_threshold,
         backend=args.backend,
         workers=args.workers,
+        verify_closures=args.verify_closures,
     )
 
 
@@ -790,6 +834,17 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes under --backend parallel (default %d; "
         "ignored by the in-process backend)" % DEFAULT_WORKERS,
     )
+    _add_verify_closures_argument(parser)
+
+
+def _add_verify_closures_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify-closures",
+        action="store_true",
+        help="analyze every closure in a job's lineage at submission "
+        "time (rules CL000..CL007, see docs/ANALYSIS.md); a violating "
+        "closure aborts the run with exit code 4",
+    )
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -866,6 +921,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_optimizer_arguments(explain)
     _add_routing_arguments(explain)
+    _add_verify_closures_argument(explain)
 
     route = sub.add_parser(
         "route",
@@ -994,6 +1050,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the report as deterministic JSON instead of text",
     )
+    lint.add_argument(
+        "--closures",
+        action="store_true",
+        help="treat the positional arguments as Python files/directories "
+        "and run the closure analyzer (CL000..CL007) instead of the "
+        "SPARQL linter; equivalent to `repro analyze`",
+    )
     from repro.optimizer import DEFAULT_BROADCAST_THRESHOLD, ORDER_MODES
 
     lint.add_argument(
@@ -1009,6 +1072,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ROWS",
         help="broadcast threshold checked by QL006 (default %d)"
         % DEFAULT_BROADCAST_THRESHOLD,
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically analyze Python sources for worker-boundary "
+        "closure violations (CL000..CL007; see docs/ANALYSIS.md)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="Python file or directory to check (repeatable)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as deterministic JSON instead of text",
     )
 
     serve = sub.add_parser(
@@ -1248,12 +1328,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "loadtest": cmd_loadtest,
         "stats": cmd_stats,
         "lint": cmd_lint,
+        "analyze": cmd_analyze,
         "views": cmd_views,
         "validate": cmd_validate,
         "harvest": cmd_harvest,
     }
     try:
         return handlers[args.command](args)
+    except ClosureAnalysisError as exc:
+        print("error: closure rejected at job submission:", file=sys.stderr)
+        print(str(exc), file=sys.stderr)
+        return 4
     except ShaclError as exc:
         print("error: bad shapes file: %s" % exc, file=sys.stderr)
         return 2

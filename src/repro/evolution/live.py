@@ -71,7 +71,9 @@ class UpdatableSparqlgxEngine(SparqlgxEngine):
                 self._objects.add(triple.object)
 
         rewritten = 0
-        for predicate in touched:
+        # Sorted: the rebuild order decides RDD ids and vp_tables
+        # insertion order, which would otherwise follow set order.
+        for predicate in sorted(touched, key=lambda term: term.sort_key()):
             pairs = sorted(
                 self._pairs[predicate],
                 key=lambda so: (so[0].sort_key(), so[1].sort_key()),

@@ -123,7 +123,10 @@ class CardinalityEstimator:
         shared = set(v.name for v in pattern.variables()) & set(
             v.name for v in other.variables()
         )
-        for name in shared:
+        # Sorted: float multiplication is not associativity-stable, so
+        # accumulating the per-variable factors in set order would leak
+        # PYTHONHASHSEED into cost estimates.
+        for name in sorted(shared):
             mine = self._so_position(pattern, name)
             theirs = self._so_position(other, name)
             if mine is None or theirs is None:

@@ -86,13 +86,16 @@ def build_context(
     speculation: bool = False,
     backend: str = "inprocess",
     workers: Optional[int] = None,
+    verify_closures: bool = False,
 ) -> SparkContext:
     """A SparkContext from the knob set shared by every entry point.
 
     ``backend``/``workers`` select the executor backend (see
     :mod:`repro.spark.parallel`); bad combinations raise
     :class:`RuntimeConfigError` so the CLI reports them as configuration
-    errors rather than tracebacks.
+    errors rather than tracebacks.  ``verify_closures`` opts into
+    worker-boundary enforcement at job submission (see
+    :mod:`repro.analysis.closures`).
     """
     try:
         return SparkContext(
@@ -102,6 +105,7 @@ def build_context(
             speculation=speculation,
             backend=backend,
             workers=workers,
+            verify_closures=verify_closures,
         )
     except BackendConfigError as exc:
         raise RuntimeConfigError(str(exc)) from exc
@@ -117,6 +121,7 @@ def build_engine(
     ctx: Optional[SparkContext] = None,
     backend: str = "inprocess",
     workers: Optional[int] = None,
+    verify_closures: bool = False,
 ):
     """Resolve, construct, and warm one engine on *graph*.
 
@@ -134,5 +139,6 @@ def build_engine(
             speculation=speculation,
             backend=backend,
             workers=workers,
+            verify_closures=verify_closures,
         )
     return cls(ctx).load(graph)

@@ -185,6 +185,7 @@ class QueryService:
         workers: Optional[int] = None,
         route: bool = False,
         route_engines: Optional[Sequence[str]] = None,
+        verify_closures: bool = False,
     ) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
@@ -215,6 +216,9 @@ class QueryService:
         #: "parallel"); canonical payload bytes are identical either way.
         self.backend = backend
         self.workers = workers
+        #: Opt-in worker-boundary enforcement on every pooled engine's
+        #: context (see :mod:`repro.analysis.closures`).
+        self.verify_closures = verify_closures
         self._optimize = optimize
         self._optimizer_mode = optimizer_mode
         self._broadcast_threshold = broadcast_threshold
@@ -305,6 +309,7 @@ class QueryService:
             speculation=self._speculation,
             backend=self.backend,
             workers=self.workers,
+            verify_closures=self.verify_closures,
         )
         if self.optimizer is not None:
             engine.set_optimizer(self.optimizer)

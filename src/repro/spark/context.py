@@ -47,6 +47,12 @@ class SparkContext:
     workers:
         Worker-pool size for the parallel backend (default 2); ignored
         by the in-process backend.
+    verify_closures:
+        Opt-in worker-boundary enforcement: every closure in a job's
+        lineage is analyzed at submission time (rules CL000..CL007,
+        see :mod:`repro.analysis.closures`) and a violating one raises
+        :exc:`repro.analysis.closures.ClosureAnalysisError` instead of
+        silently diverging from the oracle.  Off by default.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class SparkContext:
         speculation: bool = False,
         backend: str = "inprocess",
         workers: Optional[int] = None,
+        verify_closures: bool = False,
     ) -> None:
         if default_parallelism <= 0:
             raise ValueError("default_parallelism must be positive")
@@ -88,6 +95,13 @@ class SparkContext:
         self.executor_backend = build_backend(backend, workers)
         self.backend = self.executor_backend.name
         self.workers = self.executor_backend.workers
+        #: Opt-in job-submission closure verification (CL000..CL007);
+        #: see :mod:`repro.analysis.closures` and docs/PARALLEL.md.
+        self.verify_closures = bool(verify_closures)
+        #: Closures already cleared by the verifier (id -> function, the
+        #: reference pins the id), so repeated materializations of the
+        #: same lineage re-check nothing.
+        self._verified_closures: dict = {}
         #: Accumulators created through :meth:`accumulator`, by uid, so
         #: the parallel backend can replay worker-side adds in task order.
         self._accumulators: dict = {}

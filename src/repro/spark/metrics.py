@@ -66,7 +66,7 @@ class MetricsSnapshot:
     def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         names = set(self.counters) | set(other.counters)
         return MetricsSnapshot(
-            {name: self[name] - other[name] for name in names}
+            {name: self[name] - other[name] for name in sorted(names)}
         )
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:

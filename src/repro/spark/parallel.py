@@ -113,6 +113,28 @@ def _serial_materialize(rdd: RDD) -> List[List[Any]]:
     return [rdd._iterate(i) for i in range(rdd.num_partitions)]
 
 
+def _maybe_verify(rdd: RDD) -> None:
+    """Opt-in closure verification at job submission.
+
+    When the context was built with ``verify_closures=True``, every
+    closure in the lineage is checked against the worker-boundary
+    rules (CL000..CL007) before any partition computes; a violating
+    closure raises :exc:`repro.analysis.closures.ClosureAnalysisError`
+    instead of silently diverging between backends.  Never runs inside
+    a worker (the driver already cleared the lineage), and already-
+    verified code objects are memoized on the context.
+    """
+    if _WORKER_STATE["active"]:
+        return
+    if not getattr(rdd.ctx, "verify_closures", False):
+        return
+    # Imported lazily: repro.analysis pulls in the optimizer/sparql
+    # stack, which must not load during repro.spark's own import.
+    from repro.analysis.closures import verify_rdd
+
+    verify_rdd(rdd)
+
+
 class InProcessBackend:
     """The serial, single-process oracle backend."""
 
@@ -120,6 +142,7 @@ class InProcessBackend:
     workers = 1
 
     def materialize(self, rdd: RDD) -> List[List[Any]]:
+        _maybe_verify(rdd)
         return _serial_materialize(rdd)
 
     def __repr__(self) -> str:
@@ -386,6 +409,7 @@ class ParallelBackend:
     # -- entry point ----------------------------------------------------
 
     def materialize(self, rdd: RDD) -> List[List[Any]]:
+        _maybe_verify(rdd)
         if _WORKER_STATE["active"] or self._in_flight:
             # Nested materialization (inside a worker task or a stage
             # already being driven) always takes the oracle path.

@@ -171,6 +171,106 @@ class TestSetIteration:
         assert codes(report) == []
 
 
+class TestSetBoundNames:
+    """The false negatives the bare-set audit closed: names bound to
+    set values iterate just as nondeterministically as inline sets."""
+
+    def test_set_comprehension_assigned_then_iterated(self):
+        report = run(
+            """
+            def f(items):
+                unique = {x.strip() for x in items}
+                for item in unique:
+                    print(item)
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_frozenset_local_iterated(self):
+        report = run(
+            """
+            def f(items):
+                frozen = frozenset(items)
+                return [x for x in frozen]
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_grown_set_iterated(self):
+        report = run(
+            """
+            def f(items):
+                seen = set()
+                for item in items:
+                    seen.add(item)
+                for item in seen:
+                    print(item)
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_set_union_augmented_keeps_setness(self):
+        report = run(
+            """
+            def f(a, b):
+                seen = set(a)
+                seen |= set(b)
+                for item in seen:
+                    print(item)
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_list_conversion_of_set_name(self):
+        report = run(
+            """
+            def f(items):
+                frozen = frozenset(items)
+                return list(frozen)
+            """
+        )
+        assert codes(report) == ["DT002"]
+
+    def test_sorted_set_name_clean(self):
+        report = run(
+            """
+            def f(items):
+                unique = {x for x in items}
+                for item in sorted(unique):
+                    print(item)
+            """
+        )
+        assert codes(report) == []
+
+    def test_reassigned_name_not_flagged(self):
+        # The name is later rebound to a sorted list: iteration of that
+        # list is fine, and the flat scan must stay conservative.
+        report = run(
+            """
+            def f(items):
+                unique = {x for x in items}
+                unique = sorted(unique)
+                for item in unique:
+                    print(item)
+            """
+        )
+        assert codes(report) == []
+
+    def test_parameter_shadowing_not_flagged(self):
+        # A set-bound module name shadowed by a parameter elsewhere
+        # disqualifies the name entirely (scope-flat conservatism).
+        report = run(
+            """
+            KNOWN = frozenset(("a", "b"))
+
+            def f(KNOWN):
+                for item in KNOWN:
+                    print(item)
+            """
+        )
+        assert codes(report) == []
+
+
 class TestUnseededRandom:
     def test_module_level_random_call(self):
         report = run(

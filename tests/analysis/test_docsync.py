@@ -1,4 +1,4 @@
-"""Front 3: the docs drift checker (rules ``DS001`` .. ``DS005``).
+"""Front 3: the docs drift checker (rules ``DS001`` .. ``DS006``).
 
 The repo-level test at the bottom is the doc-sync gate promised in the
 README: every flag the CLI defines is documented, and every documented
@@ -19,6 +19,7 @@ from repro.analysis.docsync import (
     extract_block,
     fix_readme,
     main,
+    registered_rule_codes,
     render_cli_reference,
 )
 
@@ -44,8 +45,24 @@ EXIT_TABLE = "\n".join(
 
 
 def minimal_readme():
-    """A README that passes every rule on a docs-less tree."""
-    return "# Repro\n\n%s\n\n%s\n" % (EXIT_TABLE, render_cli_reference())
+    """A README that passes every rule next to the minimal catalog."""
+    return "# Repro\n\nSee docs/ANALYSIS.md.\n\n%s\n\n%s\n" % (
+        EXIT_TABLE,
+        render_cli_reference(),
+    )
+
+
+def write_catalog(root):
+    """docs/ANALYSIS.md with one catalog row per registered rule."""
+    rows = "\n".join(
+        "| %s | error | pinned |" % code
+        for code in sorted(registered_rule_codes())
+    )
+    write(
+        root,
+        "docs/ANALYSIS.md",
+        "# Analysis\n\n| code | severity | what |\n|--|--|--|\n%s\n" % rows,
+    )
 
 
 class TestRenderedReference:
@@ -77,6 +94,7 @@ class TestRenderedReference:
 class TestRules:
     def test_clean_tree(self, tmp_path):
         write(tmp_path, "README.md", minimal_readme())
+        write_catalog(tmp_path)
         report = check_root(str(tmp_path))
         assert codes(report) == []
         assert report.exit_code() == EXIT_CLEAN
@@ -159,10 +177,38 @@ class TestRules:
 
     def test_ds005_unindexed_docs_page(self, tmp_path):
         write(tmp_path, "README.md", minimal_readme())
+        write_catalog(tmp_path)
         write(tmp_path, "docs/ORPHAN.md", "never linked\n")
         report = check_root(str(tmp_path))
         assert codes(report) == ["DS005"]
         assert report.exit_code() == EXIT_WARNINGS
+
+    def test_ds006_missing_catalog_page(self, tmp_path):
+        write(tmp_path, "README.md", minimal_readme())
+        report = check_root(str(tmp_path))
+        assert codes(report) == ["DS006"]
+        assert any(
+            "docs/ANALYSIS.md is missing" in d.message
+            for d in report.diagnostics
+        )
+
+    def test_ds006_unregistered_and_undocumented_rows(self, tmp_path):
+        write(tmp_path, "README.md", minimal_readme())
+        write_catalog(tmp_path)
+        path = os.path.join(str(tmp_path), "docs", "ANALYSIS.md")
+        with open(path, encoding="utf-8") as handle:
+            body = handle.read()
+        # Drop the CL000 row and add a phantom CL999 row.
+        body = body.replace("| CL000 | error | pinned |\n", "")
+        body += "| CL999 | error | ghost |\n"
+        write(tmp_path, "docs/ANALYSIS.md", body)
+        messages = [
+            d.message
+            for d in check_root(str(tmp_path)).diagnostics
+            if d.code == "DS006"
+        ]
+        assert any("CL000" in m and "no catalog row" in m for m in messages)
+        assert any("CL999" in m and "no analyzer registers" in m for m in messages)
 
     def test_missing_readme_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -171,10 +217,9 @@ class TestRules:
 
 class TestFix:
     def test_fix_rewrites_stale_block(self, tmp_path):
-        stale = render_cli_reference().replace("repro query", "repro qeury")
-        write(
-            tmp_path, "README.md", "# R\n\n%s\n\n%s\n" % (EXIT_TABLE, stale)
-        )
+        stale = minimal_readme().replace("repro query", "repro qeury")
+        write(tmp_path, "README.md", stale)
+        write_catalog(tmp_path)
         assert fix_readme(str(tmp_path)) is True
         assert check_root(str(tmp_path)).exit_code() == EXIT_CLEAN
         # A second pass is a no-op: the block is already canonical.
@@ -189,6 +234,7 @@ class TestFix:
 class TestCli:
     def test_clean_tree_exit_zero(self, tmp_path, capsys):
         write(tmp_path, "README.md", minimal_readme())
+        write_catalog(tmp_path)
         assert main([str(tmp_path)]) == EXIT_CLEAN
         assert "docsync" in capsys.readouterr().out
 
@@ -207,10 +253,9 @@ class TestCli:
         assert "README" in capsys.readouterr().err
 
     def test_fix_flag(self, tmp_path, capsys):
-        stale = render_cli_reference().replace("Usage", "Usgae")
-        write(
-            tmp_path, "README.md", "# R\n\n%s\n\n%s\n" % (EXIT_TABLE, stale)
-        )
+        stale = minimal_readme().replace("Usage", "Usgae")
+        write(tmp_path, "README.md", stale)
+        write_catalog(tmp_path)
         assert main([str(tmp_path), "--fix"]) == EXIT_CLEAN
 
 

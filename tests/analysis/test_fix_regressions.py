@@ -1,10 +1,12 @@
 """Regression tests for the determinism bugs the checker flagged.
 
 The checker's first run over ``src/repro`` found three genuine
-set-iteration-order bugs (DT002).  Each test here reruns the fixed code
-path in subprocesses under *different* ``PYTHONHASHSEED`` values -- the
-condition that actually perturbs set order for str-hashed elements --
-and asserts byte-identical output.
+set-iteration-order bugs (DT002); sharpening DT002 to follow names
+bound to set values found three more (ExtVP reduction factors,
+incremental-update rebuild order, metrics-snapshot deltas).  Each test
+here reruns the fixed code path in subprocesses under *different*
+``PYTHONHASHSEED`` values -- the condition that actually perturbs set
+order for str-hashed elements -- and asserts byte-identical output.
 """
 
 import os
@@ -76,6 +78,67 @@ from repro.core.registry import default_registry
 from repro.core.reports import diff_against_paper
 
 print(diff_against_paper(default_registry()))
+"""
+        )
+
+    def test_extvp_reduction_factor(self):
+        """optimizer/cardinality.py: reduction_factor multiplies the
+        per-shared-variable factors in sorted order, not set order."""
+        assert_hashseed_invariant(
+            """
+from repro.data.lubm import LubmGenerator
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.sparql.parser import parse_sparql
+from repro.stats import StatsCatalog
+
+graph = LubmGenerator(num_universities=1, seed=42).generate()
+estimator = CardinalityEstimator(StatsCatalog.from_graph(graph))
+query = parse_sparql(
+    'PREFIX lubm: <http://repro.example.org/lubm#> '
+    'SELECT * WHERE { ?s lubm:memberOf ?o . ?o lubm:subOrganizationOf ?s }'
+)
+first, second = query.where.elements
+print(repr(estimator.reduction_factor(first, second)))
+"""
+        )
+
+    def test_incremental_update_rebuild_order(self):
+        """evolution/live.py: touched predicate stores rebuild in sorted
+        order, so RDD ids and vp_tables insertion order are stable."""
+        assert_hashseed_invariant(
+            """
+from repro.data.lubm import LubmGenerator
+from repro.evolution.live import UpdatableSparqlgxEngine
+from repro.rdf.triple import Triple
+from repro.rdf.terms import URI
+from repro.spark.context import SparkContext
+
+graph = LubmGenerator(num_universities=1, seed=42).generate()
+engine = UpdatableSparqlgxEngine(SparkContext(default_parallelism=4))
+engine.load(graph)
+subject = URI('http://repro.example.org/lubm#extra1')
+additions = [
+    Triple(subject, URI('http://repro.example.org/lubm#name'), subject),
+    Triple(subject, URI('http://repro.example.org/lubm#memberOf'), subject),
+    Triple(subject, URI('http://repro.example.org/lubm#age'), subject),
+]
+engine.apply_update(additions=additions)
+print([p.n3() for p in sorted(engine.vp_sizes, key=lambda t: t.sort_key())])
+print([t.id for t in engine.vp_tables.values()])
+print(engine.last_update_touched)
+"""
+        )
+
+    def test_metrics_snapshot_subtraction(self):
+        """spark/metrics.py: snapshot deltas build their counter dict in
+        sorted-name order, not set-union order."""
+        assert_hashseed_invariant(
+            """
+from repro.spark.metrics import MetricsSnapshot
+
+before = MetricsSnapshot({'records_scanned': 1, 'alpha': 2})
+after = MetricsSnapshot({'records_scanned': 5, 'zeta': 9, 'beta': 3})
+print((after - before).counters)
 """
         )
 

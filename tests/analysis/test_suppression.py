@@ -1,0 +1,271 @@
+"""The shared ``# repro: allow(CODE)`` suppression contract, proven
+uniformly across all four analyzers.
+
+For every suppressible rule code the same three facts must hold:
+
+1. the trigger fixture is flagged with the code when no allow comment
+   is present;
+2. an allow naming exactly that code drops the finding;
+3. an allow naming a *different* code changes nothing -- suppression is
+   per-code, never per-line-blanket.
+
+Codes whose findings carry no line anchor and no text to host a comment
+are excluded by nature, not oversight: ``DT000`` (the file does not
+parse, so no comment inside it is reliably attributable) and ``DS005``
+(the finding is about a *page never being mentioned* -- there is no
+flagged line to annotate).  The query linter's findings are plan-level,
+so its allow is file-level (any comment line of the query).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.closures import check_source as closures_check
+from repro.analysis.determinism import check_source as determinism_check
+from repro.analysis.docsync import check_root, registered_rule_codes
+from repro.analysis.docsync import render_cli_reference
+from repro.analysis.query import lint_text
+
+
+def codes_of(report):
+    return {d.code for d in report.diagnostics}
+
+
+# ---------------------------------------------------------------------------
+# Source-level analyzers: determinism and closures
+# ---------------------------------------------------------------------------
+
+#: code -> a source template with ``%s`` where the allow comment goes
+#: (trailing on the flagged line).
+DETERMINISM_TRIGGERS = {
+    "DT001": """
+        import json
+        def f(payload):
+            return json.dumps(payload)%s
+        """,
+    "DT002": """
+        def f(items):
+            for item in set(items):%s
+                print(item)
+        """,
+    "DT003": """
+        import random
+        def f():
+            return random.random()%s
+        """,
+    "DT004": """
+        import time
+        def f():
+            return time.time()%s
+        """,
+    "DT005": """
+        def f(out=[]):%s
+            return out
+        """,
+}
+
+CLOSURE_PRELUDE = """
+    from repro.spark.context import SparkContext
+
+    sc = SparkContext(4)
+    rdd = sc.parallelize(range(10))
+"""
+
+CLOSURE_TRIGGERS = {
+    "CL000": """
+        out = rdd.map(lambda x: sc.parallelize([x]).count()).collect()%s
+        """,
+    "CL001": """
+        seen = {}
+        rdd.foreach(lambda x: seen.update({x: 1}))%s
+        """,
+    "CL002": """
+        acc = sc.accumulator(0)
+        out = rdd.map(lambda x: x + acc.value).collect()%s
+        """,
+    "CL003": """
+        table = sc.broadcast({"a": 1})
+        table.value["b"] = 2%s
+        """,
+    "CL004": """
+        class TwoArgError(ValueError):
+            def __init__(self, a, b):
+                super().__init__(a)
+
+        def guard(x):
+            if x < 0:
+                raise TwoArgError(x, "neg")%s
+            return x
+        out = rdd.map(guard).collect()
+        """,
+    "CL005": """
+        pending = []
+        for p in ("a", "b"):
+            pending.append(rdd.filter(lambda t: t == p))%s
+        """,
+    "CL006": """
+        TOTAL = 0
+        def bump(x):
+            global TOTAL%s
+            TOTAL += x  # repro: allow(CL001)
+        rdd.foreach(bump)
+        """,
+    "CL007": """
+        acc = sc.accumulator(0)
+        def peek(x):
+            return x + acc.value  # repro: allow(CL002)
+        out = rdd.map(lambda x: peek(x)).collect()%s
+        """,
+}
+
+
+def _source_report(checker, prelude, template, allow):
+    comment = "  # repro: allow(%s)" % allow if allow else ""
+    source = textwrap.dedent(prelude) + textwrap.dedent(template % comment)
+    return checker("mod.py", source)
+
+
+OTHER = {"DT": "DT999", "CL": "CL999", "QL": "QL999", "DS": "DS999"}
+
+
+class TestSourceAnalyzers:
+    @pytest.mark.parametrize(
+        "code",
+        sorted(DETERMINISM_TRIGGERS) + sorted(CLOSURE_TRIGGERS),
+    )
+    def test_allow_suppresses_exactly_the_named_code(self, code):
+        if code.startswith("DT"):
+            checker, prelude, template = (
+                determinism_check,
+                "",
+                DETERMINISM_TRIGGERS[code],
+            )
+        else:
+            checker, prelude, template = (
+                closures_check,
+                CLOSURE_PRELUDE,
+                CLOSURE_TRIGGERS[code],
+            )
+        bare = _source_report(checker, prelude, template, None)
+        assert code in codes_of(bare), "trigger fixture must fire"
+        named = _source_report(checker, prelude, template, code)
+        assert code not in codes_of(named), "allow(code) must suppress"
+        other = _source_report(
+            checker, prelude, template, OTHER[code[:2]]
+        )
+        assert code in codes_of(other), "allow(other) must not suppress"
+
+
+# ---------------------------------------------------------------------------
+# The query linter: file-level allows in SPARQL comments
+# ---------------------------------------------------------------------------
+
+QUERY_TRIGGERS = {
+    "QL000": "SELECT ?s WHERE {",
+    "QL001": "SELECT ?a ?b WHERE { ?a <urn:p> ?x . ?b <urn:q> ?y }",
+    "QL002": "SELECT ?s ?ghost WHERE { ?s <urn:p> ?o }",
+    "QL003": 'SELECT ?s WHERE { ?s <urn:p> ?o FILTER(1 = 2) }',
+}
+
+
+class TestQueryLinter:
+    @pytest.mark.parametrize("code", sorted(QUERY_TRIGGERS))
+    def test_allow_suppresses_exactly_the_named_code(self, code):
+        query = QUERY_TRIGGERS[code]
+        assert code in codes_of(lint_text(query))
+        named = "# repro: allow(%s)\n%s" % (code, query)
+        assert code not in codes_of(lint_text(named))
+        other = "# repro: allow(QL999)\n%s" % query
+        assert code in codes_of(lint_text(other))
+
+    def test_statistics_rules_suppressible(self, lubm_graph):
+        from repro.stats import StatsCatalog
+
+        catalog = StatsCatalog.from_graph(lubm_graph)
+        query = "SELECT ?s WHERE { ?s <urn:never-seen> ?o }"
+        assert "QL004" in codes_of(lint_text(query, catalog=catalog))
+        named = "# repro: allow(QL004)\n" + query
+        assert "QL004" not in codes_of(lint_text(named, catalog=catalog))
+
+
+# ---------------------------------------------------------------------------
+# Docsync: markdown-native allows
+# ---------------------------------------------------------------------------
+
+
+def _docs_root(tmp_path, readme_extra="", analysis_extra=""):
+    """A minimal, otherwise-clean docsync root."""
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    rows = "\n".join(
+        "| %s | error | pinned |" % code
+        for code in sorted(registered_rule_codes())
+    )
+    analysis = "# Analysis\n\n| code | severity | what |\n|--|--|--|\n"
+    analysis += rows + "\n" + analysis_extra
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "ANALYSIS.md").write_text(
+        analysis, encoding="utf-8"
+    )
+    readme = "\n".join(
+        [
+            "# Repo",
+            "",
+            "See docs/ANALYSIS.md.",
+            "",
+            "| code | meaning |",
+            "|--|--|",
+            "| 0 | clean |",
+            "| 1 | failed checks |",
+            "| 2 | unusable inputs |",
+            "| 3 | fault budget exhausted |",
+            "| 4 | warnings |",
+            "| 5 | errors |",
+            "",
+            render_cli_reference(),
+            "",
+            readme_extra,
+            "",
+        ]
+    )
+    (tmp_path / "README.md").write_text(readme, encoding="utf-8")
+    return str(tmp_path)
+
+
+class TestDocsync:
+    def test_baseline_root_is_clean(self, tmp_path):
+        report = check_root(_docs_root(tmp_path))
+        assert codes_of(report) == set()
+
+    @pytest.mark.parametrize("allow,expect_gone", [
+        (None, False),
+        ("DS002", True),
+        ("DS999", False),
+    ])
+    def test_ds002_allow(self, tmp_path, allow, expect_gone):
+        comment = (
+            " <!-- repro: allow(%s) -->" % allow if allow else ""
+        )
+        root = _docs_root(
+            tmp_path, readme_extra="Use `--bogus-flag` here.%s" % comment
+        )
+        found = codes_of(check_root(root))
+        assert ("DS002" not in found) == expect_gone
+
+    def test_ds004_allow(self, tmp_path):
+        line = "[missing](nowhere.md) <!-- repro: allow(DS004) -->"
+        root = _docs_root(tmp_path / "allowed", readme_extra=line)
+        assert "DS004" not in codes_of(check_root(root))
+        root2 = _docs_root(
+            tmp_path / "bare", readme_extra="[missing](nowhere.md)"
+        )
+        assert "DS004" in codes_of(check_root(root2))
+
+    def test_ds006_allow(self, tmp_path):
+        row = "| CL999 | error | ghost | <!-- repro: allow(DS006) -->"
+        root = _docs_root(tmp_path, analysis_extra=row + "\n")
+        assert "DS006" not in codes_of(check_root(root))
+        root2 = _docs_root(
+            tmp_path / "bare", analysis_extra="| CL998 | error | ghost |\n"
+        )
+        assert "DS006" in codes_of(check_root(root2))

@@ -1,0 +1,151 @@
+"""The perf-trajectory gate (``benchmarks/check_regression.py``).
+
+The acceptance demonstration lives here: a synthetic cost-unit
+regression against a committed BENCH artifact makes the gate exit 1
+with a ``regression`` finding, while a byte-identical rerun passes.
+"""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression",
+        os.path.join(REPO_ROOT, "benchmarks", "check_regression.py"),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_gate()
+
+
+def committed_optimizer_payload():
+    with open(
+        os.path.join(REPO_ROOT, "BENCH_optimizer.json"), encoding="utf-8"
+    ) as handle:
+        return json.load(handle)
+
+
+class TestFlatten:
+    def test_flatten_nested_dicts_and_lists(self):
+        payload = {"a": {"b": [1, {"c": 2}]}, "d": "x"}
+        assert gate.flatten_payload(payload) == {
+            "a.b[0]": 1,
+            "a.b[1].c": 2,
+            "d": "x",
+        }
+
+    def test_flatten_is_order_insensitive(self):
+        one = gate.flatten_payload({"a": 1, "b": 2})
+        two = gate.flatten_payload({"b": 2, "a": 1})
+        assert one == two
+
+
+class TestCompare:
+    def test_identical_payloads_are_clean(self):
+        payload = committed_optimizer_payload()
+        assert gate.compare_payloads("optimizer", payload, payload) == []
+
+    def test_cost_unit_increase_is_a_regression(self):
+        baseline = committed_optimizer_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["profiles"]["dp"]["star"]["join_comparisons"] += 10
+        findings = gate.compare_payloads("optimizer", baseline, fresh)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.kind == "regression"
+        assert finding.path == "profiles.dp.star.join_comparisons"
+        assert "worse" in finding.render()
+
+    def test_cost_unit_decrease_is_an_improvement(self):
+        baseline = committed_optimizer_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["profiles"]["dp"]["star"]["join_comparisons"] -= 1
+        (finding,) = gate.compare_payloads("optimizer", baseline, fresh)
+        assert finding.kind == "improvement"
+        assert "re-commit" in finding.render()
+
+    def test_non_perf_change_is_drift(self):
+        baseline = committed_optimizer_payload()
+        fresh = copy.deepcopy(baseline)
+        fresh["profiles"]["dp"]["star"]["rows"] += 1
+        (finding,) = gate.compare_payloads("optimizer", baseline, fresh)
+        assert finding.kind == "drift"
+
+    def test_missing_and_extra_leaves_are_drift(self):
+        findings = gate.compare_payloads(
+            "b", {"kept": 1, "gone": 2}, {"kept": 1, "new": 3}
+        )
+        assert [(f.path, f.kind) for f in findings] == [
+            ("gone", "drift"),
+            ("new", "drift"),
+        ]
+
+    def test_bool_leaves_never_compare_as_numbers(self):
+        (finding,) = gate.compare_payloads(
+            "b", {"units": True}, {"units": False}
+        )
+        assert finding.kind == "drift"
+
+
+class TestGateMain:
+    """Drive main() against the real committed artifact with a stubbed
+    regeneration, so the gate's verdict is demonstrated without paying
+    for a full bench rerun."""
+
+    def _patch_spec(self, monkeypatch, regenerate):
+        monkeypatch.setattr(
+            gate,
+            "SPECS",
+            [("optimizer", "BENCH_optimizer.json", regenerate)],
+        )
+
+    def test_synthetic_regression_fails_ci(self, monkeypatch, capsys):
+        doctored = committed_optimizer_payload()
+        doctored["profiles"]["dp"]["star"]["join_comparisons"] += 100
+        self._patch_spec(monkeypatch, lambda: doctored)
+        assert gate.main([]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "join_comparisons" in out
+        assert "1 regression(s)" in out
+
+    def test_reproduced_artifact_passes(self, monkeypatch, capsys):
+        self._patch_spec(monkeypatch, committed_optimizer_payload)
+        assert gate.main([]) == 0
+        assert "all 1 artifact(s) clean" in capsys.readouterr().out
+
+    def test_missing_artifact_exits_two(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            gate, "SPECS", [("ghost", "BENCH_ghost.json", dict)]
+        )
+        assert gate.main([]) == 2
+        assert "missing artifact" in capsys.readouterr().err
+
+    def test_bench_filter_rejects_unknown_name(self, monkeypatch):
+        self._patch_spec(monkeypatch, committed_optimizer_payload)
+        with pytest.raises(SystemExit) as excinfo:
+            gate.main(["--bench", "nope"])
+        assert excinfo.value.code == 2
+
+
+@pytest.mark.slow
+class TestLiveRegeneration:
+    """The real thing: one full bench regenerated and compared."""
+
+    def test_optimizer_bench_reproduces_committed_artifact(self):
+        name, artifact, regenerate = next(
+            spec for spec in gate.SPECS if spec[0] == "optimizer"
+        )
+        assert gate.check_bench(name, artifact, regenerate) == []
